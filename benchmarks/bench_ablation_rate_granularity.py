@@ -1,0 +1,80 @@
+"""E14 — ablation: extra-fault rate and granularity vs. accuracy/overhead.
+
+Sec. III-C3: "The accuracy of the detected communication pattern is
+determined by two factors, the rate at which additional page faults are
+created and the granularity".  This sweep quantifies both on SP, plus the
+paper-literal CUMULATIVE 10% controller and the uniform-sampling variant.
+"""
+
+from conftest import emit, engine_config
+
+from repro.analysis.report import format_table
+from repro.core.injector import InjectorMode
+from repro.core.manager import SpcdConfig
+from repro.engine.simulator import Simulator
+from repro.units import KIB
+from repro.workloads.npb import make_npb
+
+
+def run_one(spcd_config: SpcdConfig):
+    sim = Simulator(
+        make_npb("SP"), "spcd", seed=9,
+        config=engine_config(steps=150), spcd_config=spcd_config,
+    )
+    res = sim.run()
+    corr = res.detected_matrix.correlation(sim.workload.ground_truth())
+    return corr, res.detection_pct, res.injected_faults
+
+
+def test_ablation_injection_rate(benchmark, results_dir):
+    def sweep():
+        rows = []
+        for floor in (32, 128, 256, 512):
+            corr, ovh, injected = run_one(SpcdConfig(injector_floor=floor))
+            rows.append([f"steady/{floor}", f"{corr:.3f}", f"{ovh:.2f}%", injected])
+        corr, ovh, injected = run_one(
+            SpcdConfig(injector_mode=InjectorMode.CUMULATIVE)
+        )
+        rows.append(["cumulative 10% (paper)", f"{corr:.3f}", f"{ovh:.2f}%", injected])
+        corr, ovh, injected = run_one(SpcdConfig(injector_sampling="uniform"))
+        rows.append(["uniform sampling", f"{corr:.3f}", f"{ovh:.2f}%", injected])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "ablation_rate.txt",
+        format_table(
+            ["injector", "pattern corr", "detect ovh", "injected faults"],
+            rows,
+            title="Ablation — additional page-fault rate (SP)",
+        ),
+    )
+    # More injection -> more accuracy and more overhead (monotone trend on
+    # the steady rows).
+    corrs = [float(r[1]) for r in rows[:4]]
+    ovhs = [float(r[2][:-1]) for r in rows[:4]]
+    assert corrs[-1] >= corrs[0]
+    assert ovhs[-1] >= ovhs[0]
+
+
+def test_ablation_granularity(benchmark, results_dir):
+    def sweep():
+        rows = []
+        for gran in (1 * KIB, 4 * KIB, 16 * KIB, 64 * KIB):
+            corr, ovh, _ = run_one(SpcdConfig(granularity=gran))
+            rows.append([f"{gran // KIB} KiB", f"{corr:.3f}", f"{ovh:.2f}%"])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "ablation_granularity.txt",
+        format_table(
+            ["granularity", "pattern corr", "detect ovh"],
+            rows,
+            title="Ablation — detection granularity (SP)",
+        ),
+    )
+    # The 4 KiB page granularity the paper chose detects the chain well.
+    assert float(rows[1][1]) > 0.8

@@ -1,0 +1,24 @@
+"""E9 — Fig. 13: total DRAM energy normalised to the OS scheduler."""
+
+from conftest import emit
+
+from repro.analysis.report import format_figure_table
+
+
+def test_fig13_dram_energy(benchmark, suite, results_dir):
+    series = benchmark.pedantic(
+        lambda: suite.normalized_series("dram_energy_j"), rounds=1, iterations=1
+    )
+    emit(
+        results_dir,
+        "fig13_dram_energy.txt",
+        format_figure_table(series, title="Fig. 13 — total DRAM energy (normalised to OS)"),
+    )
+    # DRAM energy couples background power (time) with miss traffic; chain
+    # benchmarks save energy under the oracle mapping, as in the paper.
+    for bench in ("BT", "LU", "SP", "UA"):
+        if bench in series:
+            assert series[bench]["oracle"] < 1.0, bench
+    for bench in ("EP", "FT", "IS"):
+        if bench in series:
+            assert abs(series[bench]["oracle"] - 1.0) < 0.08, bench

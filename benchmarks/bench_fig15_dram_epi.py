@@ -1,0 +1,21 @@
+"""E11 — Fig. 15: DRAM energy per instruction normalised to the OS."""
+
+from conftest import emit
+
+from repro.analysis.report import format_figure_table
+
+
+def test_fig15_dram_energy_per_instruction(benchmark, suite, results_dir):
+    series = benchmark.pedantic(
+        lambda: suite.normalized_series("dram_epi_nj"), rounds=1, iterations=1
+    )
+    emit(
+        results_dir,
+        "fig15_dram_epi.txt",
+        format_figure_table(
+            series, title="Fig. 15 — DRAM energy per instruction (normalised to OS)"
+        ),
+    )
+    for bench in ("BT", "LU", "SP", "UA"):
+        if bench in series:
+            assert series[bench]["oracle"] < 1.0, bench

@@ -1,0 +1,81 @@
+"""E2 — Fig. 6: producer/consumer communication matrices.
+
+Runs the two-phase producer/consumer benchmark under SPCD and extracts the
+four matrices of the paper's Fig. 6: phase 1, phase 2, a transition
+interval, and the overall pattern.  Writes ASCII + PGM heatmaps and checks
+the headline claim — SPCD detects the dynamic behaviour, while the overall
+(static) view blurs both phases together.
+"""
+
+import numpy as np
+from conftest import emit, engine_config
+
+from repro.analysis.heatmap import heatmap_ascii, heatmap_pgm
+from repro.engine.simulator import Simulator
+from repro.units import MSEC
+from repro.workloads.patterns import distant_pairs_pattern, neighbor_pairs_pattern
+from repro.workloads.producer_consumer import ProducerConsumerWorkload
+
+PHASE_NS = 400 * MSEC
+
+
+def run_experiment():
+    workload = ProducerConsumerWorkload(phase_period_ns=PHASE_NS)
+    sim = Simulator(workload, "spcd", seed=5, config=engine_config(steps=320))
+    snapshots = []
+
+    def capture(s, step, now):
+        if step % 10 == 9:
+            snapshots.append((now, s.manager.detector.snapshot_matrix()))
+
+    result = sim.run(capture)
+
+    intervals = {"phase1": None, "phase2": None, "transition": None}
+    for (t0, m0), (t1, m1) in zip(snapshots, snapshots[1:]):
+        diff = m1.diff(m0)
+        if diff.total() < 20:
+            continue
+        p0, p1 = workload.phase_at(t0), workload.phase_at(t1)
+        if p0 == p1 == 0 and intervals["phase1"] is None and t0 > PHASE_NS // 4:
+            intervals["phase1"] = diff
+        elif p0 == p1 == 1 and intervals["phase2"] is None:
+            intervals["phase2"] = diff
+        elif p0 != p1 and intervals["transition"] is None:
+            intervals["transition"] = diff
+    intervals["overall"] = snapshots[-1][1]
+    return workload, result, intervals
+
+
+def test_fig6_producer_consumer_matrices(benchmark, results_dir):
+    workload, result, intervals = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    n = workload.n_threads
+    iu = np.triu_indices(n, 1)
+    neighbor = neighbor_pairs_pattern(n)[iu]
+    distant = distant_pairs_pattern(n)[iu]
+
+    lines = [f"Fig. 6 — producer/consumer, {result.migrations} migrations"]
+    corr = {}
+    for key, label in (
+        ("phase1", "a: phase 1"),
+        ("phase2", "b: phase 2"),
+        ("transition", "c: transition"),
+        ("overall", "d: overall"),
+    ):
+        matrix = intervals[key]
+        assert matrix is not None, f"no interval captured for {key}"
+        vec = matrix.matrix[iu]
+        c_nb = float(np.corrcoef(vec, neighbor)[0, 1])
+        c_ds = float(np.corrcoef(vec, distant)[0, 1])
+        corr[key] = (c_nb, c_ds)
+        heatmap_pgm(matrix, results_dir / f"fig6{label[0]}_{key}.pgm")
+        lines.append(f"\n{heatmap_ascii(matrix, title=f'Fig. 6{label}')}")
+        lines.append(f"corr(neighbour)={c_nb:+.2f} corr(distant)={c_ds:+.2f}")
+    emit(results_dir, "fig6_prodcons.txt", "\n".join(lines))
+
+    # Shape checks (the paper's qualitative claims):
+    assert corr["phase1"][0] > corr["phase1"][1]  # 6a: neighbour pattern
+    assert corr["phase2"][1] > corr["phase2"][0]  # 6b: distant pattern
+    # 6d: the overall view contains traces of both phases.
+    assert corr["overall"][0] > 0.15 and corr["overall"][1] > 0.15

@@ -1,0 +1,50 @@
+"""E4 — Fig. 8: execution time normalised to the OS scheduler.
+
+Reproduces the paper's headline figure: per benchmark, one bar per mapping
+policy (OS / random / oracle / SPCD), normalised to the OS baseline, with
+95% confidence intervals over the repetitions.
+"""
+
+from conftest import BENCH_SET, POLICIES, emit
+
+from repro.analysis.report import format_figure_table, format_table
+from repro.workloads.npb import NPB_SPECS
+
+
+def test_fig8_execution_time(benchmark, suite, results_dir):
+    series = benchmark.pedantic(
+        lambda: suite.normalized_series("exec_time_s"), rounds=1, iterations=1
+    )
+    text = format_figure_table(series, title="Fig. 8 — execution time (normalised to OS)")
+    ci_rows = [
+        [b] + [
+            f"{suite.metric_stats(b, p, 'exec_time_s').mean:.3f}"
+            f"±{suite.metric_stats(b, p, 'exec_time_s').ci95:.3f}"
+            for p in POLICIES
+        ]
+        for b in BENCH_SET
+    ]
+    text += "\n\n" + format_table(
+        ["bench"] + [p.upper() for p in POLICIES], ci_rows,
+        title="absolute seconds (mean ± 95% CI)",
+    )
+    emit(results_dir, "fig8_exec_time.txt", text)
+
+    # Shape checks against the paper:
+    # the oracle improves every heterogeneous chain benchmark...
+    for bench in ("BT", "LU", "SP", "UA"):
+        if bench in series:
+            assert series[bench]["oracle"] < 0.98, bench
+    # ...and does nothing for the homogeneous ones.
+    for bench in ("EP", "FT", "IS"):
+        if bench in series:
+            assert abs(series[bench]["oracle"] - 1.0) < 0.05, bench
+    # SP shows the largest oracle gain (it communicates the most).
+    if {"SP", "MG"} <= set(series):
+        assert series["SP"]["oracle"] < series["MG"]["oracle"]
+    # SPCD tracks the oracle's direction: best on SP, no gain on EP/FT/IS.
+    if "SP" in series:
+        assert series["SP"]["spcd"] < 1.02
+    for bench in ("EP", "FT", "IS"):
+        if bench in series:
+            assert 0.97 < series[bench]["spcd"] < 1.10, bench

@@ -1,0 +1,112 @@
+"""Shared infrastructure for the figure/table reproduction benchmarks.
+
+Running the full NPB suite (10 benchmarks x 4 policies x N repetitions) is
+the expensive part; every figure is a different projection of the *same*
+runs.  The session-scoped :class:`SuiteCache` therefore executes each
+(benchmark, policy, repetition) simulation exactly once and hands memoized
+results to every bench module.
+
+Environment knobs:
+
+* ``REPRO_BENCH_STEPS``  — simulation steps per run (default 400).
+* ``REPRO_BENCH_REPS``   — repetitions per configuration (default 3;
+  the paper used 10).
+* ``REPRO_BENCH_SET``    — comma-separated benchmark subset (default: all).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.engine.policies import Policy
+from repro.engine.runner import MetricStats, summarize
+from repro.engine.simulator import EngineConfig, SimulationResult, Simulator
+from repro.rng import derive_seed
+from repro.workloads.npb import NPB_SPECS, make_npb
+
+BENCH_STEPS = int(os.environ.get("REPRO_BENCH_STEPS", "400"))
+BENCH_REPS = int(os.environ.get("REPRO_BENCH_REPS", "3"))
+BENCH_SET = [
+    b.strip().upper()
+    for b in os.environ.get("REPRO_BENCH_SET", ",".join(NPB_SPECS)).split(",")
+    if b.strip()
+]
+BASE_SEED = 42
+POLICIES = ("os", "random", "oracle", "spcd")
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def engine_config(**overrides) -> EngineConfig:
+    """The benchmark harness' engine configuration."""
+    kw = dict(batch_size=256, steps=BENCH_STEPS)
+    kw.update(overrides)
+    return EngineConfig(**kw)
+
+
+class SuiteCache:
+    """Memoizes (benchmark, policy, rep) simulation results for a session."""
+
+    def __init__(self) -> None:
+        self._results: dict[tuple[str, str, int], SimulationResult] = {}
+        self._sims: dict[tuple[str, str, int], Simulator] = {}
+
+    def run(self, bench: str, policy: str, rep: int = 0) -> SimulationResult:
+        """One simulation, memoized."""
+        key = (bench, policy, rep)
+        if key not in self._results:
+            seed = derive_seed(BASE_SEED, "rep", rep, Policy.parse(policy).value)
+            sim = Simulator(
+                make_npb(bench), policy, seed=seed, config=engine_config()
+            )
+            self._results[key] = sim.run()
+            self._sims[key] = sim
+        return self._results[key]
+
+    def simulator(self, bench: str, policy: str, rep: int = 0) -> Simulator:
+        """The simulator behind a memoized run (runs it if needed)."""
+        self.run(bench, policy, rep)
+        return self._sims[(bench, policy, rep)]
+
+    def replicated(self, bench: str, policy: str) -> list[SimulationResult]:
+        """All repetitions of one cell."""
+        return [self.run(bench, policy, rep) for rep in range(BENCH_REPS)]
+
+    def metric_stats(self, bench: str, policy: str, metric: str) -> MetricStats:
+        """Mean + 95% CI of one metric over the repetitions."""
+        return summarize([r.metric(metric) for r in self.replicated(bench, policy)])
+
+    def normalized_series(self, metric: str) -> dict[str, dict[str, float]]:
+        """{bench: {policy: mean metric normalised to the OS baseline}}."""
+        out: dict[str, dict[str, float]] = {}
+        for bench in BENCH_SET:
+            base = self.metric_stats(bench, "os", metric).mean
+            out[bench] = {
+                policy: (self.metric_stats(bench, policy, metric).mean / base
+                         if base else float("nan"))
+                for policy in POLICIES
+            }
+        return out
+
+
+@pytest.fixture(scope="session")
+def suite() -> SuiteCache:
+    """The shared suite cache."""
+    return SuiteCache()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where figure text/PGM outputs are written."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a figure table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    (results_dir / name).write_text(text + "\n")

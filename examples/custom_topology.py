@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Mapping on a custom machine topology.
+
+The SPCD mechanism is hardware-agnostic (paper Sec. I): the hierarchical
+mapper only needs the machine's sharing levels.  This example builds a
+4-socket machine with 6 cores per socket (a non-power-of-two shape that
+exercises the greedy packing fallback), maps a block-communication workload
+onto it, and shows where each communicating group landed.
+"""
+
+import numpy as np
+
+from repro.core.mapping import HierarchicalMapper, mapping_comm_cost
+from repro.machine import build_machine
+
+
+def block_pattern(n: int, block: int, weight: float = 10.0) -> np.ndarray:
+    """Groups of `block` threads that communicate all-to-all internally."""
+    m = np.zeros((n, n))
+    for base in range(0, n, block):
+        m[base : base + block, base : base + block] = weight
+    np.fill_diagonal(m, 0.0)
+    return m
+
+
+def main() -> None:
+    machine = build_machine(4, 6, 2, name="4s6c2t custom box")
+    print(machine.describe())
+    n_threads = machine.n_pus  # 48
+    comm = block_pattern(n_threads, block=4)
+
+    mapper = HierarchicalMapper(machine)
+    mapping = mapper.map(comm)
+
+    print(f"\nmapping of {n_threads} threads (blocks of 4 communicate):")
+    for base in range(0, n_threads, 4):
+        members = range(base, base + 4)
+        placement = [
+            f"t{t}->pu{mapping[t]}(c{machine.core_of(int(mapping[t]))}"
+            f"/s{machine.socket_of(int(mapping[t]))})"
+            for t in members
+        ]
+        sockets = {machine.socket_of(int(mapping[t])) for t in members}
+        cores = {machine.core_of(int(mapping[t])) for t in members}
+        print(f"  block {base // 4:2d}: {', '.join(placement)}  "
+              f"[{len(cores)} cores, {len(sockets)} socket(s)]")
+
+    cost = mapping_comm_cost(comm, mapping, machine)
+    rng = np.random.default_rng(0)
+    random_cost = float(
+        np.mean([mapping_comm_cost(comm, rng.permutation(n_threads), machine)
+                 for _ in range(20)])
+    )
+    print(f"\ncommunication cost: mapped={cost:.0f} vs random average={random_cost:.0f} "
+          f"({100 * (1 - cost / random_cost):.0f}% lower)")
+
+
+if __name__ == "__main__":
+    main()

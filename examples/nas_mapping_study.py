@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Mini mapping study over a subset of the NAS benchmarks (Fig. 8 style).
+
+Usage::
+
+    python examples/nas_mapping_study.py [BENCH ...]
+
+Runs the given benchmarks (default: BT EP FT SP) under all four placement
+policies of the paper — OS scheduler, random static, oracle static and SPCD —
+and prints the execution time, L3 MPKI and cache-to-cache series normalised
+to the OS baseline, the way the paper's figures present them.
+"""
+
+import sys
+
+from repro import EngineConfig, Simulator, make_npb
+from repro.analysis.report import format_table
+
+POLICIES = ("os", "random", "oracle", "spcd")
+
+
+def main() -> None:
+    benches = [b.upper() for b in sys.argv[1:]] or ["BT", "EP", "FT", "SP"]
+    config = EngineConfig(batch_size=256, steps=200)
+
+    results = {}
+    for bench in benches:
+        results[bench] = {}
+        for policy in POLICIES:
+            res = Simulator(make_npb(bench), policy, seed=17, config=config).run()
+            results[bench][policy] = res
+            print(f"ran {bench}/{policy}: {res.exec_time_s:.3f}s")
+
+    for metric, title in (
+        ("exec_time_s", "Execution time (normalised to OS)"),
+        ("l3_mpki", "L3 MPKI (normalised to OS)"),
+        ("c2c_transactions", "Cache-to-cache transactions (normalised to OS)"),
+    ):
+        rows = []
+        for bench in benches:
+            base = results[bench]["os"].metric(metric)
+            rows.append(
+                [bench] + [results[bench][p].metric(metric) / base for p in POLICIES]
+            )
+        print()
+        print(format_table(["bench"] + [p.upper() for p in POLICIES], rows, title=title))
+
+    print()
+    rows = [
+        [bench, results[bench]["spcd"].migrations,
+         f"{results[bench]['spcd'].detection_pct:.2f}%",
+         f"{results[bench]['spcd'].mapping_pct:.2f}%"]
+        for bench in benches
+    ]
+    print(format_table(["bench", "migrations", "detection ovh", "mapping ovh"], rows,
+                       title="SPCD behaviour"))
+
+
+if __name__ == "__main__":
+    main()

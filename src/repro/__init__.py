@@ -1,0 +1,67 @@
+"""repro — reproduction of "Communication-Based Mapping Using Shared Pages".
+
+SPCD (Shared Pages Communication Detection) detects the communication
+pattern of shared-memory parallel applications by monitoring page faults on
+shared pages, and dynamically migrates threads so that heavily communicating
+threads share caches (Diener, Cruz, Navaux; IPDPS workshops 2013).
+
+The paper's kernel mechanism cannot run in user-space Python, so this
+package pairs a faithful implementation of the SPCD algorithms
+(:mod:`repro.core`) with a full simulation substrate: machine/cache/NUMA
+models (:mod:`repro.machine`, :mod:`repro.cachesim`), a virtual-memory
+subsystem with a hookable fault pipeline (:mod:`repro.mem`), an OS layer
+(:mod:`repro.kernelsim`), synthetic NPB-like workloads
+(:mod:`repro.workloads`) and an execution-driven engine producing the
+paper's metrics (:mod:`repro.engine`).
+
+Quick start::
+
+    from repro import Simulator, make_npb
+    result = Simulator(make_npb("SP"), "spcd", seed=1).run()
+    print(result.exec_time_s, result.l3_mpki)
+"""
+
+from repro.core import (
+    CommunicationFilter,
+    CommunicationMatrix,
+    HierarchicalMapper,
+    SpcdConfig,
+    SpcdDetector,
+    SpcdManager,
+    max_weight_perfect_matching,
+)
+from repro.engine import (
+    EngineConfig,
+    Policy,
+    SimulationResult,
+    Simulator,
+    run_replicated,
+    run_single,
+)
+from repro.machine import Machine, build_machine, dual_xeon_e5_2650
+from repro.workloads import ProducerConsumerWorkload, SyntheticNpbWorkload, make_npb
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CommunicationFilter",
+    "CommunicationMatrix",
+    "EngineConfig",
+    "HierarchicalMapper",
+    "Machine",
+    "Policy",
+    "ProducerConsumerWorkload",
+    "SimulationResult",
+    "Simulator",
+    "SpcdConfig",
+    "SpcdDetector",
+    "SpcdManager",
+    "SyntheticNpbWorkload",
+    "build_machine",
+    "dual_xeon_e5_2650",
+    "make_npb",
+    "max_weight_perfect_matching",
+    "run_replicated",
+    "run_single",
+    "__version__",
+]

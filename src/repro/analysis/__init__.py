@@ -1,0 +1,17 @@
+"""Result analysis and paper-style reporting."""
+
+from repro.analysis.heatmap import heatmap_ascii, heatmap_pgm, save_matrix_csv
+from repro.analysis.report import (
+    figure_series,
+    format_figure_table,
+    format_table,
+)
+
+__all__ = [
+    "figure_series",
+    "format_figure_table",
+    "format_table",
+    "heatmap_ascii",
+    "heatmap_pgm",
+    "save_matrix_csv",
+]

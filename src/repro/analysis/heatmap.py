@@ -1,0 +1,61 @@
+"""Communication-matrix heatmaps without plotting dependencies.
+
+The paper's Figs. 6 and 7 are grayscale heatmaps (darker = more
+communication).  We render them as ASCII shade ramps for terminals and as
+binary PGM images (viewable anywhere) for files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.commmatrix import CommunicationMatrix
+
+#: light -> dark ramp; darker cells mean more communication, as in the paper
+_RAMP = " .:-=+*#%@"
+
+
+def _as_array(matrix: CommunicationMatrix | np.ndarray) -> np.ndarray:
+    if isinstance(matrix, CommunicationMatrix):
+        return matrix.matrix
+    return np.asarray(matrix, dtype=float)
+
+
+def heatmap_ascii(matrix: CommunicationMatrix | np.ndarray, *, title: str | None = None) -> str:
+    """Render a matrix as an ASCII heatmap string."""
+    m = _as_array(matrix)
+    peak = m.max()
+    norm = m / peak if peak > 0 else m
+    lines = []
+    if title:
+        lines.append(title)
+    idx = np.minimum((norm * (len(_RAMP) - 1)).round().astype(int), len(_RAMP) - 1)
+    for row in idx:
+        lines.append("".join(_RAMP[v] * 2 for v in row))
+    return "\n".join(lines)
+
+
+def heatmap_pgm(
+    matrix: CommunicationMatrix | np.ndarray, path: str | Path, *, cell: int = 8
+) -> Path:
+    """Write the matrix as a binary PGM image (darker = more communication)."""
+    m = _as_array(matrix)
+    peak = m.max()
+    norm = m / peak if peak > 0 else m
+    # 255 = white (no communication), 0 = black (max), paper-style.
+    gray = (255 * (1.0 - norm)).astype(np.uint8)
+    img = np.kron(gray, np.ones((cell, cell), dtype=np.uint8))
+    path = Path(path)
+    with path.open("wb") as fh:
+        fh.write(f"P5\n{img.shape[1]} {img.shape[0]}\n255\n".encode())
+        fh.write(img.tobytes())
+    return path
+
+
+def save_matrix_csv(matrix: CommunicationMatrix | np.ndarray, path: str | Path) -> Path:
+    """Write the matrix values as CSV."""
+    path = Path(path)
+    np.savetxt(path, _as_array(matrix), delimiter=",", fmt="%.6g")
+    return path

@@ -1,0 +1,82 @@
+"""Paper-style tables and figure series.
+
+The benchmark harness prints, for every figure of the paper, the same
+series the figure plots: per benchmark, one bar per mapping policy,
+normalised to the OS baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.engine.runner import ReplicatedResult, normalized_to
+
+#: policy display order of the paper's figures
+POLICY_ORDER = ("os", "random", "oracle", "spcd")
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str | None = None
+) -> str:
+    """Plain fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def figure_series(
+    results: Mapping[str, Mapping[str, ReplicatedResult]],
+    metric: str,
+    *,
+    baseline: str = "os",
+) -> dict[str, dict[str, float]]:
+    """Normalised series for one figure.
+
+    Args:
+        results: ``{benchmark: {policy: ReplicatedResult}}``.
+        metric: which metric the figure plots.
+
+    Returns:
+        ``{benchmark: {policy: value_normalised_to_baseline}}``.
+    """
+    return {
+        bench: normalized_to(dict(per_policy), metric, baseline)
+        for bench, per_policy in results.items()
+    }
+
+
+def format_figure_table(
+    series: Mapping[str, Mapping[str, float]],
+    *,
+    title: str,
+    policies: Sequence[str] = POLICY_ORDER,
+) -> str:
+    """Text rendering of one normalised figure (benchmarks x policies)."""
+    headers = ["benchmark"] + [p.upper() for p in policies]
+    rows = []
+    for bench in series:
+        row: list[object] = [bench]
+        for p in policies:
+            row.append(series[bench].get(p, float("nan")))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

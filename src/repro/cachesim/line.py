@@ -1,0 +1,54 @@
+"""MESI line states and line-id helpers."""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.units import CACHE_LINE_SHIFT
+
+
+class MesiState(str, enum.Enum):
+    """Coherence state of a line's *private-cache domain*.
+
+    The directory tracks one global state per line: with at most one private
+    owner the line is ``MODIFIED`` (dirty) or ``EXCLUSIVE`` (clean); with
+    multiple private copies it is ``SHARED``; with none it is ``INVALID``
+    (it may still sit in an L3).
+    """
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+def line_of(vaddr: int) -> int:
+    """Cache-line id containing *vaddr*."""
+    return vaddr >> CACHE_LINE_SHIFT
+
+
+def lines_of(vaddrs: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`line_of`."""
+    return np.asarray(vaddrs, dtype=np.int64) >> CACHE_LINE_SHIFT
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits (sharer count of a bitmask)."""
+    return bin(mask).count("1")
+
+
+def lowest_set_bit(mask: int) -> int:
+    """Index of the least-significant set bit; -1 for empty masks."""
+    if mask == 0:
+        return -1
+    return (mask & -mask).bit_length() - 1
+
+
+def iter_set_bits(mask: int):
+    """Yield the indices of all set bits of *mask*, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low

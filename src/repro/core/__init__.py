@@ -1,0 +1,45 @@
+"""SPCD — Shared Pages Communication Detection and thread mapping.
+
+The paper's contribution: detect communication by watching page faults on
+shared pages (:mod:`repro.core.spcd`), keep the detection alive by injecting
+extra faults (:mod:`repro.core.injector`), decide *when* to remap with the
+communication filter (:mod:`repro.core.filter`) and *where* with hierarchical
+maximum-weight matching (:mod:`repro.core.matching`,
+:mod:`repro.core.grouping`, :mod:`repro.core.mapping`), all orchestrated by
+:class:`repro.core.manager.SpcdManager`.
+"""
+
+from repro.core.commmatrix import CommunicationMatrix
+from repro.core.datamap import SpcdDataMapper
+from repro.core.filter import CommunicationFilter
+from repro.core.grouping import group_matrix, pair_groups
+from repro.core.hashtable import ShareTable, ShareEntry, hash_64
+from repro.core.injector import FaultInjector, InjectorMode
+from repro.core.manager import SpcdManager, SpcdConfig
+from repro.core.mapping import HierarchicalMapper
+from repro.core.matching import (
+    greedy_matching,
+    matching_weight,
+    max_weight_perfect_matching,
+)
+from repro.core.spcd import SpcdDetector
+
+__all__ = [
+    "CommunicationFilter",
+    "SpcdDataMapper",
+    "CommunicationMatrix",
+    "FaultInjector",
+    "HierarchicalMapper",
+    "InjectorMode",
+    "ShareEntry",
+    "ShareTable",
+    "SpcdConfig",
+    "SpcdDetector",
+    "SpcdManager",
+    "greedy_matching",
+    "group_matrix",
+    "hash_64",
+    "matching_weight",
+    "max_weight_perfect_matching",
+    "pair_groups",
+]

@@ -1,0 +1,123 @@
+"""The communication filter (paper Sec. IV-A).
+
+Calling the mapping algorithm on every matrix evaluation would be wasteful;
+the filter decides whether the pattern changed enough.  Every thread has one
+*partner thread* — the thread it communicates most with (sub-groups limited
+to size 2).  On each evaluation the filter counts how many threads changed
+partner since the last time the mapper ran; if at least ``threshold``
+(paper: 2) did, the mapper is invoked and the partner snapshot updated.
+
+Complexity is Theta(N^2) per evaluation — one argmax over the matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.commmatrix import CommunicationMatrix
+from repro.errors import ConfigurationError
+
+
+class CommunicationFilter:
+    """Decides whether a new mapping is warranted."""
+
+    def __init__(
+        self,
+        n_threads: int,
+        threshold: int = 2,
+        hysteresis: float = 1.25,
+        margin: float = 0.5,
+    ) -> None:
+        if threshold < 1:
+            raise ConfigurationError("threshold must be >= 1")
+        if hysteresis < 1.0:
+            raise ConfigurationError("hysteresis must be >= 1")
+        if margin < 0.0:
+            raise ConfigurationError("margin must be >= 0")
+        self.n = n_threads
+        self.threshold = threshold
+        #: a partner change only counts when the new partner communicates at
+        #: least this factor more than the recorded one — absorbs sampling
+        #: noise between near-equal candidates (e.g. a thread's two chain
+        #: neighbours) that would otherwise re-trigger mapping constantly
+        self.hysteresis = hysteresis
+        #: additional absolute margin, as a fraction of the thread's mean
+        #: row communication: in *homogeneous* patterns every candidate
+        #: partner is statistically equivalent, so the argmax flips with
+        #: sampling noise; requiring the new partner to beat the old one by
+        #: a slice of the row mean keeps such patterns from re-triggering
+        #: the mapper (the paper's FT/IS/EP migrate at most once)
+        self.margin = margin
+        #: partner snapshot taken the last time the mapper was triggered
+        self._partners = np.full(n_threads, -1, dtype=np.int64)
+        self._ever_triggered = False
+        self.evaluations = 0
+        self.triggers = 0
+
+    def should_remap(self, matrix: CommunicationMatrix) -> bool:
+        """Evaluate *matrix*; True if the mapping algorithm should run.
+
+        The first evaluation with any detected communication always
+        triggers (there is no previous mapping to keep).
+        """
+        self.evaluations += 1
+        current = matrix.partners()
+        if not self._ever_triggered:
+            if np.any(current >= 0):
+                self._trigger(current)
+                return True
+            return False
+        if self.changed_partner_count(matrix) >= self.threshold:
+            self._trigger(current)
+            return True
+        return False
+
+    def _trigger(self, partners: np.ndarray) -> None:
+        self._partners = partners.copy()
+        self._ever_triggered = True
+        self.triggers += 1
+
+    def changed_partner_count(self, matrix: CommunicationMatrix) -> int:
+        """Threads whose partner genuinely changed since the snapshot.
+
+        A change counts only when the thread has a partner now, the partner
+        differs from the snapshot, and the new partner's communication beats
+        the old partner's by the hysteresis factor (a fresh thread with no
+        recorded partner always counts).
+        """
+        m = matrix.matrix
+        current = matrix.partners()
+        # The noise floor: a partner switch must clear a slice of the mean
+        # positive cell, otherwise sparse/homogeneous matrices (where the
+        # argmax flips with every sample) re-trigger the mapper constantly.
+        positive = m[m > 0]
+        noise = self.margin * float(positive.mean()) if positive.size else 0.0
+        changed = 0
+        for t in range(self.n):
+            cur = int(current[t])
+            if cur < 0 or cur == int(self._partners[t]):
+                continue
+            old = int(self._partners[t])
+            if old < 0:
+                # A first partner also has to clear the noise floor, or
+                # barely-communicating threads (EP) trigger endless remaps.
+                if m[t, cur] > noise:
+                    changed += 1
+                continue
+            if m[t, cur] > self.hysteresis * m[t, old] + noise:
+                changed += 1
+        return changed
+
+    @property
+    def partners(self) -> np.ndarray:
+        """The snapshot of partner threads at the last trigger."""
+        return self._partners.copy()
+
+    def restore(self, partners: np.ndarray) -> None:
+        """Roll the snapshot back to *partners* (a prior :attr:`partners`).
+
+        Used when a trigger was vetoed downstream (e.g. the migration's
+        improvement gate): the partner change stays pending, so the same
+        evidence re-triggers a later evaluation instead of being swallowed.
+        """
+        self._partners = np.asarray(partners, dtype=np.int64).copy()

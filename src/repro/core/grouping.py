@@ -1,0 +1,89 @@
+"""Hierarchical group formation (paper Sec. IV-B, Eq. 1).
+
+After the matching algorithm pairs threads, architectures where more than two
+PUs share a cache need *groups of groups*: a new communication matrix over
+the pairs is built with the heuristic
+
+    H[(x,y),(z,k)] = M[x,z] + M[x,k] + M[y,z] + M[y,k]
+
+and matched again, doubling group size each round.  ``group_matrix``
+implements the natural generalisation (the sum of all cross-group cells,
+which reduces to Eq. 1 for size-2 groups), and ``pair_groups`` performs one
+matching round over groups.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.matching import max_weight_perfect_matching
+from repro.errors import MappingError
+
+Group = tuple[int, ...]
+
+
+def group_matrix(comm: np.ndarray, groups: Sequence[Group]) -> np.ndarray:
+    """Communication matrix *between groups* (Eq. 1 generalised).
+
+    ``H[a, b]`` is the sum of ``comm[i, j]`` over all ``i`` in group *a* and
+    ``j`` in group *b*.  Implemented as ``G @ M @ G.T`` with an indicator
+    matrix; the diagonal (intra-group communication) is zeroed since matching
+    never uses it.
+    """
+    comm = np.asarray(comm, dtype=float)
+    n = comm.shape[0]
+    g = len(groups)
+    indicator = np.zeros((g, n))
+    seen: set[int] = set()
+    for a, members in enumerate(groups):
+        for tid in members:
+            if not 0 <= tid < n:
+                raise MappingError(f"thread {tid} outside matrix of size {n}")
+            if tid in seen:
+                raise MappingError(f"thread {tid} appears in two groups")
+            seen.add(tid)
+            indicator[a, tid] = 1.0
+    h = indicator @ comm @ indicator.T
+    np.fill_diagonal(h, 0.0)
+    return h
+
+
+def pair_groups(comm: np.ndarray, groups: Sequence[Group]) -> list[Group]:
+    """One pairing round: match groups, merge each matched pair.
+
+    Returns the merged groups (half as many, each twice the size).  Member
+    order within a merged group preserves the constituent groups, so the
+    final group tuple encodes the whole pairing tree
+    (e.g. ``(a, b, c, d)`` means (a,b) and (c,d) were level-1 pairs).
+    """
+    if len(groups) % 2 != 0:
+        raise MappingError(f"cannot pair an odd number of groups ({len(groups)})")
+    h = group_matrix(comm, groups)
+    pairs = max_weight_perfect_matching(h)
+    return [tuple(groups[a]) + tuple(groups[b]) for a, b in pairs]
+
+
+def build_hierarchy(
+    comm: np.ndarray, target_size: int, *, start: Sequence[Group] | None = None
+) -> list[Group]:
+    """Pair repeatedly until groups reach *target_size* threads each.
+
+    *target_size* must be ``start_size * 2**k``.  With the default start of
+    singleton groups this produces the full pairing tree bottom-up, exactly
+    the paper's repeated-matching procedure.
+    """
+    n = np.asarray(comm).shape[0]
+    groups: list[Group] = list(start) if start is not None else [(t,) for t in range(n)]
+    size = len(groups[0])
+    if any(len(g) != size for g in groups):
+        raise MappingError("all starting groups must have equal size")
+    if target_size < size or target_size % size != 0:
+        raise MappingError(f"cannot grow groups of {size} to {target_size}")
+    ratio = target_size // size
+    if ratio & (ratio - 1):
+        raise MappingError(f"target size {target_size} not a power-of-two multiple of {size}")
+    while len(groups[0]) < target_size:
+        groups = pair_groups(comm, groups)
+    return groups

@@ -1,0 +1,118 @@
+"""The SPCD sharing table (paper Sec. III-B1, Figure 4).
+
+A fixed-size hash table keyed by memory-region id (the faulting address
+divided by the detection granularity).  Each entry stores the region id, the
+set of threads that faulted on it and the time stamp of each thread's last
+access.  As in the paper:
+
+* the size is fixed at construction (default 256,000 elements);
+* the hash function is Linux's ``hash_64`` (golden-ratio multiplication);
+* on a collision the previous entry is **overwritten** — the paper accepts
+  this accuracy loss to keep the fault-path cost constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Linux's GOLDEN_RATIO_64 (include/linux/hash.h since v4.7; v3.2 used the
+#: equivalent GOLDEN_RATIO_PRIME_64 multiply — same construction).
+GOLDEN_RATIO_64 = 0x61C8864680B583EB
+_MASK64 = (1 << 64) - 1
+
+#: Table size used in the paper's evaluation (covers 1 GiB at 4 KiB pages).
+DEFAULT_TABLE_SIZE = 256_000
+
+
+def hash_64(value: int, bits: int = 64) -> int:
+    """Linux kernel ``hash_64``: multiply by the golden ratio, keep top bits."""
+    if not 0 < bits <= 64:
+        raise ConfigurationError("bits must be in (0, 64]")
+    return ((value * GOLDEN_RATIO_64) & _MASK64) >> (64 - bits)
+
+
+@dataclass
+class ShareEntry:
+    """One sharing record: a region, its sharers and their last-access times."""
+
+    region: int
+    #: thread id -> virtual time (ns) of that thread's last fault here
+    last_access: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def sharers(self) -> list[int]:
+        """Thread ids that have faulted on this region."""
+        return list(self.last_access)
+
+    @property
+    def is_shared(self) -> bool:
+        """A region becomes *shared* once two threads have touched it."""
+        return len(self.last_access) >= 2
+
+    def touch(self, tid: int, now_ns: int) -> None:
+        """Record a fault by *tid* at *now_ns*."""
+        self.last_access[tid] = now_ns
+
+
+class ShareTable:
+    """Fixed-size, overwrite-on-collision hash table of :class:`ShareEntry`.
+
+    Attributes:
+        size: number of slots (paper: 256,000 — ~18 MiB in the kernel).
+        collisions: number of times an entry was overwritten by a different
+            region hashing to the same slot.
+    """
+
+    def __init__(self, size: int = DEFAULT_TABLE_SIZE) -> None:
+        if size <= 0:
+            raise ConfigurationError("table size must be positive")
+        self.size = size
+        self._slots: dict[int, ShareEntry] = {}
+        self.collisions = 0
+        self.lookups = 0
+        self.inserts = 0
+
+    def _slot_of(self, region: int) -> int:
+        return hash_64(region) % self.size
+
+    def lookup(self, region: int) -> ShareEntry | None:
+        """The entry for *region*, or ``None`` if absent / overwritten."""
+        self.lookups += 1
+        entry = self._slots.get(self._slot_of(region))
+        if entry is not None and entry.region == region:
+            return entry
+        return None
+
+    def get_or_create(self, region: int) -> ShareEntry:
+        """The entry for *region*, creating (and possibly evicting) one."""
+        slot = self._slot_of(region)
+        entry = self._slots.get(slot)
+        if entry is not None and entry.region == region:
+            return entry
+        if entry is not None:
+            self.collisions += 1
+        entry = ShareEntry(region=region)
+        self._slots[slot] = entry
+        self.inserts += 1
+        return entry
+
+    def clear(self) -> None:
+        """Drop every entry (e.g. when the application exits)."""
+        self._slots.clear()
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def occupancy(self) -> float:
+        """Fraction of slots in use."""
+        return len(self._slots) / self.size
+
+    def shared_region_count(self) -> int:
+        """Number of currently tracked regions with >= 2 sharers."""
+        return sum(1 for e in self._slots.values() if e.is_shared)
+
+    def entries(self) -> list[ShareEntry]:
+        """All live entries (inspection/testing)."""
+        return list(self._slots.values())

@@ -1,0 +1,33 @@
+"""Execution-driven simulation engine.
+
+Interleaves per-thread access streams over the machine model, drives the
+fault pipeline, the MESI hierarchy and the SPCD kernel threads in virtual
+time, and produces the paper's metrics: execution time, L2/L3 MPKI,
+cache-to-cache transactions, processor and DRAM energy, and SPCD overheads.
+"""
+
+from repro.engine.energy import EnergyModel, EnergyParams
+from repro.engine.metrics import TimeModel, TimeParams
+from repro.engine.policies import Policy
+from repro.engine.runner import (
+    MetricStats,
+    run_replicated,
+    run_single,
+    summarize,
+)
+from repro.engine.simulator import EngineConfig, SimulationResult, Simulator
+
+__all__ = [
+    "EnergyModel",
+    "EnergyParams",
+    "EngineConfig",
+    "MetricStats",
+    "Policy",
+    "SimulationResult",
+    "Simulator",
+    "TimeModel",
+    "TimeParams",
+    "run_replicated",
+    "run_single",
+    "summarize",
+]

@@ -1,0 +1,117 @@
+"""Energy model (stands in for the paper's RAPL measurements).
+
+Processor energy = per-socket static power x time + dynamic energy per
+instruction + per-event energies for cache traffic and interconnect
+transfers.  DRAM energy = per-node background power x time + per-access
+dynamic energy (NUMA-distance dependent).  The model couples energy to
+execution time *and* to interconnect/DRAM traffic, which is exactly the
+structure behind the paper's observation that mapping saves more DRAM energy
+than execution time on domain-decomposition codes (Figs. 12-15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cachesim.stats import CacheStats
+from repro.machine.interconnect import InterconnectModel
+from repro.machine.numa import NumaModel
+from repro.machine.topology import CommDistance, Machine
+from repro.units import CACHE_LINE_SIZE
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Energy-model constants (SandyBridge-era magnitudes)."""
+
+    #: leakage + uncore power per socket, watts
+    static_w_per_socket: float = 25.0
+    #: dynamic core energy per instruction, nanojoules
+    epi_dynamic_nj: float = 0.35
+    #: per-event cache energies, nanojoules
+    l2_access_nj: float = 0.03
+    l3_access_nj: float = 0.45
+    #: DRAM background (refresh/standby) power per node, watts
+    dram_background_w_per_node: float = 0.6
+    #: DRAM dynamic energy per line transfer, nanojoules
+    dram_access_nj: float = 18.0
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules, split the way the paper reports them."""
+
+    processor_j: float
+    dram_j: float
+    processor_static_j: float
+    processor_dynamic_j: float
+    dram_background_j: float
+    dram_dynamic_j: float
+
+    def proc_epi_nj(self, instructions: float) -> float:
+        """Processor energy per instruction in nJ (Fig. 14 metric)."""
+        return 1e9 * self.processor_j / instructions if instructions else 0.0
+
+    def dram_epi_nj(self, instructions: float) -> float:
+        """DRAM energy per instruction in nJ (Fig. 15 metric)."""
+        return 1e9 * self.dram_j / instructions if instructions else 0.0
+
+
+class EnergyModel:
+    """Computes run energy from total time and aggregate cache statistics."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        interconnect: InterconnectModel | None = None,
+        numa: NumaModel | None = None,
+        params: EnergyParams | None = None,
+    ) -> None:
+        self.machine = machine
+        self.interconnect = interconnect or InterconnectModel()
+        self.numa = numa or NumaModel(machine, self.interconnect)
+        self.params = params or EnergyParams()
+
+    def compute(
+        self, total_time_ns: float, instructions: float, stats: CacheStats, scale: float = 1.0
+    ) -> EnergyBreakdown:
+        """Energy for a run.
+
+        Args:
+            total_time_ns: virtual wall time of the run.
+            instructions: instructions retired (unscaled).
+            stats: aggregate cache statistics (unscaled event counts).
+            scale: sampling factor — each simulated event/instruction stands
+                for *scale* real ones (see ``EngineConfig.time_scale``).
+        """
+        p = self.params
+        seconds = total_time_ns * 1e-9
+        ic = self.interconnect
+
+        static_j = p.static_w_per_socket * self.machine.n_sockets * seconds
+        ring_pj = ic.transfer_pj(CommDistance.SAME_SOCKET, CACHE_LINE_SIZE)
+        qpi_pj = ic.transfer_pj(CommDistance.CROSS_SOCKET, CACHE_LINE_SIZE)
+        dynamic_nj = scale * (
+            instructions * p.epi_dynamic_nj
+            + (stats.l2_hits + stats.l2_misses) * p.l2_access_nj
+            + (stats.l3_hits + stats.l3_misses) * p.l3_access_nj
+            + (stats.l3_hits + stats.c2c_intra) * ring_pj * 1e-3
+            + (stats.c2c_inter + stats.dram_reads_remote) * qpi_pj * 1e-3
+            + stats.invalidations * ring_pj * 1e-3
+        )
+        dynamic_j = dynamic_nj * 1e-9
+
+        dram_background_j = (
+            p.dram_background_w_per_node * self.machine.n_numa_nodes * seconds
+        )
+        dram_dynamic_j = (
+            scale * stats.dram_accesses * p.dram_access_nj * 1e-9
+        )
+        return EnergyBreakdown(
+            processor_j=static_j + dynamic_j,
+            dram_j=dram_background_j + dram_dynamic_j,
+            processor_static_j=static_j,
+            processor_dynamic_j=dynamic_j,
+            dram_background_j=dram_background_j,
+            dram_dynamic_j=dram_dynamic_j,
+        )

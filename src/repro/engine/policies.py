@@ -1,0 +1,73 @@
+"""Mapping policies of the paper's evaluation (Sec. V-D).
+
+* ``OS`` — the original Linux scheduler (our CFS-like baseline; everything
+  is normalised to it in the figures).
+* ``RANDOM`` — a static random thread->PU pinning, fresh per repetition.
+* ``ORACLE`` — a static pinning computed from full communication knowledge.
+* ``SPCD`` — dynamic detection + migration by the SPCD mechanism.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.core.mapping import HierarchicalMapper
+from repro.errors import ConfigurationError
+from repro.kernelsim.scheduler import CfsLikeScheduler, PinnedScheduler, Scheduler
+from repro.machine.topology import Machine
+from repro.oracle.analyzer import matrix_from_ground_truth
+from repro.workloads.base import Workload
+
+
+class Policy(str, enum.Enum):
+    """The four placements compared in Figs. 8-15."""
+
+    OS = "os"
+    RANDOM = "random"
+    ORACLE = "oracle"
+    SPCD = "spcd"
+
+    @classmethod
+    def parse(cls, value: "Policy | str") -> "Policy":
+        """Accept a Policy or its case-insensitive string name."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown policy {value!r}; expected one of {[p.value for p in cls]}"
+            ) from None
+
+
+def make_scheduler(
+    policy: Policy,
+    machine: Machine,
+    workload: Workload,
+    rng: np.random.Generator,
+) -> Scheduler:
+    """Build the scheduler implementing *policy* for *workload*."""
+    n = workload.n_threads
+    if n > machine.n_pus:
+        raise ConfigurationError(
+            f"{n} threads exceed the machine's {machine.n_pus} hardware contexts"
+        )
+    if policy is Policy.OS:
+        scheduler: Scheduler = CfsLikeScheduler(machine, n, rng)
+    elif policy is Policy.RANDOM:
+        pus = rng.permutation(machine.n_pus)[:n]
+        scheduler = PinnedScheduler(machine, n, [int(p) for p in pus])
+    elif policy is Policy.ORACLE:
+        matrix = matrix_from_ground_truth(workload)
+        mapping = HierarchicalMapper(machine).map(matrix)
+        scheduler = PinnedScheduler(machine, n, [int(p) for p in mapping])
+    elif policy is Policy.SPCD:
+        # SPCD starts from an arbitrary (OS-like) placement and migrates.
+        pus = rng.permutation(machine.n_pus)[:n]
+        scheduler = PinnedScheduler(machine, n, [int(p) for p in pus])
+    else:  # pragma: no cover - exhaustive enum
+        raise ConfigurationError(f"unhandled policy {policy}")
+    scheduler.start()
+    return scheduler

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the SPCD reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with invalid parameters."""
+
+
+class TopologyError(ConfigurationError):
+    """A machine topology is malformed (e.g. non-uniform children)."""
+
+
+class AddressError(ReproError):
+    """A virtual or physical address is out of range or misaligned."""
+
+
+class PageFaultError(ReproError):
+    """The fault pipeline was driven in an inconsistent way."""
+
+
+class SchedulerError(ReproError):
+    """Scheduler state was violated (e.g. migrating an unknown task)."""
+
+
+class MappingError(ReproError):
+    """The mapping algorithm received an unsolvable instance."""
+
+
+class MatchingError(MappingError):
+    """A perfect matching does not exist or the matcher failed."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was misconfigured."""
+
+
+class SimulationError(ReproError):
+    """The execution engine reached an inconsistent state."""

@@ -1,0 +1,25 @@
+"""Simulated operating-system substrate.
+
+Provides virtual time, kernel threads with periodic timers (the SPCD
+injector runs as one), thread/task state with affinities, the baseline
+communication-oblivious scheduler standing in for Linux's CFS, and thread
+migration with its costs.
+"""
+
+from repro.kernelsim.clock import VirtualClock
+from repro.kernelsim.kthread import KernelThread, TimerWheel
+from repro.kernelsim.migration import MigrationEngine
+from repro.kernelsim.scheduler import CfsLikeScheduler, PinnedScheduler, Scheduler
+from repro.kernelsim.task import Task, TaskState
+
+__all__ = [
+    "CfsLikeScheduler",
+    "KernelThread",
+    "MigrationEngine",
+    "PinnedScheduler",
+    "Scheduler",
+    "Task",
+    "TaskState",
+    "TimerWheel",
+    "VirtualClock",
+]

@@ -1,0 +1,39 @@
+"""Virtual time for the simulation.
+
+All components observe one monotonically advancing clock in nanoseconds.
+The execution engine advances it from the time model after every quantum;
+periodic kernel threads (:mod:`repro.kernelsim.kthread`) fire off it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class VirtualClock:
+    """Monotonic virtual clock in nanoseconds."""
+
+    def __init__(self, start_ns: int = 0) -> None:
+        self._now = int(start_ns)
+
+    @property
+    def now_ns(self) -> int:
+        """Current virtual time."""
+        return self._now
+
+    def advance(self, delta_ns: float) -> int:
+        """Move time forward by *delta_ns* (must be non-negative)."""
+        if delta_ns < 0:
+            raise SimulationError(f"clock cannot go backwards (delta={delta_ns})")
+        self._now += int(delta_ns)
+        return self._now
+
+    def advance_to(self, t_ns: int) -> int:
+        """Jump to absolute time *t_ns* (must not be in the past)."""
+        if t_ns < self._now:
+            raise SimulationError(f"clock cannot go backwards (to {t_ns} < {self._now})")
+        self._now = int(t_ns)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VirtualClock(now={self._now} ns)"

@@ -1,0 +1,160 @@
+"""Thread placement policies at the scheduler level.
+
+Two schedulers matter for the paper's evaluation:
+
+* :class:`CfsLikeScheduler` — the *baseline*.  Linux's CFS balances load but
+  is oblivious to communication: with as many threads as hardware contexts
+  it spreads one thread per PU in wake-up order (effectively arbitrary with
+  respect to the communication pattern) and occasionally migrates threads
+  when run-queue weights drift.  We reproduce exactly those properties:
+  arbitrary initial placement plus rare communication-oblivious migrations.
+
+* :class:`PinnedScheduler` — fixed thread->PU pinning.  The random and
+  oracle mappings use it statically; SPCD uses it and *re-pins* on every
+  mapping decision.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SchedulerError
+from repro.kernelsim.task import Task
+from repro.machine.topology import Machine
+
+
+class Scheduler(abc.ABC):
+    """Owns the tasks of one application and decides where they run."""
+
+    def __init__(self, machine: Machine, n_threads: int) -> None:
+        if n_threads <= 0:
+            raise SchedulerError("need at least one thread")
+        self.machine = machine
+        self.n_threads = n_threads
+        self.tasks: list[Task] = []
+
+    @abc.abstractmethod
+    def initial_placement(self) -> list[int]:
+        """PU for each thread at start, indexed by tid."""
+
+    def start(self) -> None:
+        """Create the tasks at their initial placement."""
+        placement = self.initial_placement()
+        if len(placement) != self.n_threads:
+            raise SchedulerError("initial placement size mismatch")
+        self.tasks = [Task(tid=t, pu=placement[t]) for t in range(self.n_threads)]
+
+    def placement(self) -> np.ndarray:
+        """Current thread->PU mapping as an int array indexed by tid."""
+        return np.array([task.pu for task in self.tasks], dtype=np.int64)
+
+    def pu_of(self, tid: int) -> int:
+        """PU currently running thread *tid*."""
+        return self.tasks[tid].pu
+
+    def on_quantum(self, now_ns: int, rng: np.random.Generator) -> list[tuple[int, int]]:
+        """Called once per scheduling quantum; returns [(tid, new_pu)] moves."""
+        return []
+
+    def migrate(self, tid: int, pu: int, now_ns: int) -> None:
+        """Move one thread (used by the mapping mechanism)."""
+        if not 0 <= pu < self.machine.n_pus:
+            raise SchedulerError(f"pu {pu} out of range")
+        self.tasks[tid].move_to(pu, now_ns)
+
+    def total_migrations(self) -> int:
+        """Migrations across all tasks."""
+        return sum(t.migrations for t in self.tasks)
+
+
+class PinnedScheduler(Scheduler):
+    """Static pinning given an explicit thread->PU mapping."""
+
+    def __init__(
+        self, machine: Machine, n_threads: int, mapping: Sequence[int] | Mapping[int, int]
+    ) -> None:
+        super().__init__(machine, n_threads)
+        if isinstance(mapping, Mapping):
+            mapping = [mapping[t] for t in range(n_threads)]
+        mapping = list(mapping)
+        if len(mapping) != n_threads:
+            raise SchedulerError(
+                f"mapping covers {len(mapping)} threads, expected {n_threads}"
+            )
+        for pu in mapping:
+            if not 0 <= pu < machine.n_pus:
+                raise SchedulerError(f"pu {pu} out of range")
+        if n_threads <= machine.n_pus and len(set(mapping)) != n_threads:
+            raise SchedulerError("mapping assigns two threads to one PU")
+        self._mapping = mapping
+
+    def initial_placement(self) -> list[int]:
+        return list(self._mapping)
+
+    def repin(self, mapping: Sequence[int], now_ns: int) -> list[tuple[int, int]]:
+        """Apply a new full mapping; returns the moves performed."""
+        if len(mapping) != self.n_threads:
+            raise SchedulerError("mapping size mismatch")
+        moves: list[tuple[int, int]] = []
+        for tid, pu in enumerate(mapping):
+            if self.tasks[tid].pu != pu:
+                self.migrate(tid, int(pu), now_ns)
+                moves.append((tid, int(pu)))
+        self._mapping = [int(p) for p in mapping]
+        return moves
+
+
+class CfsLikeScheduler(Scheduler):
+    """Communication-oblivious baseline with occasional rebalancing.
+
+    Attributes:
+        shuffle_initial: whether the wake-up order (and hence placement) is
+            randomised, as it effectively is for OpenMP teams under CFS.
+        rebalance_period_ns: how often the load balancer considers moving.
+        migration_rate: probability that a balancing pass swaps one random
+            pair of threads (models CFS's sporadic migrations; the paper's
+            OS baseline shows exactly this noisy behaviour).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        n_threads: int,
+        rng: np.random.Generator,
+        *,
+        shuffle_initial: bool = True,
+        rebalance_period_ns: int = 50_000_000,
+        migration_rate: float = 0.03,
+    ) -> None:
+        super().__init__(machine, n_threads)
+        self._rng = rng
+        self.shuffle_initial = shuffle_initial
+        self.rebalance_period_ns = rebalance_period_ns
+        self.migration_rate = migration_rate
+        self._next_rebalance_ns = rebalance_period_ns
+
+    def initial_placement(self) -> list[int]:
+        pus = np.arange(self.machine.n_pus)
+        if self.shuffle_initial:
+            self._rng.shuffle(pus)
+        if self.n_threads <= self.machine.n_pus:
+            return [int(p) for p in pus[: self.n_threads]]
+        # Oversubscribed: wrap around PUs round-robin.
+        return [int(pus[t % self.machine.n_pus]) for t in range(self.n_threads)]
+
+    def on_quantum(self, now_ns: int, rng: np.random.Generator) -> list[tuple[int, int]]:
+        """Sporadically swap a random pair of threads (load-balance noise)."""
+        moves: list[tuple[int, int]] = []
+        if now_ns < self._next_rebalance_ns:
+            return moves
+        self._next_rebalance_ns = now_ns + self.rebalance_period_ns
+        if self.n_threads >= 2 and rng.random() < self.migration_rate:
+            a, b = rng.choice(self.n_threads, size=2, replace=False)
+            pa, pb = self.tasks[a].pu, self.tasks[b].pu
+            self.migrate(int(a), pb, now_ns)
+            self.migrate(int(b), pa, now_ns)
+            moves.extend([(int(a), pb), (int(b), pa)])
+        return moves

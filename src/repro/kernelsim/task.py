@@ -1,0 +1,61 @@
+"""Tasks (threads of the parallel application) and their placement state."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulerError
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task."""
+
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+@dataclass
+class Task:
+    """One application thread.
+
+    Attributes:
+        tid: thread id, dense from 0 (matrix row index in SPCD).
+        pu: processing unit currently executing the task.
+        affinity: allowed PU set (``None`` = all allowed).
+        migrations: times this task has been moved between PUs.
+    """
+
+    tid: int
+    pu: int
+    state: TaskState = TaskState.RUNNABLE
+    affinity: frozenset[int] | None = None
+    migrations: int = 0
+    instructions: int = 0
+    vruntime_ns: float = 0.0
+    _history: list[tuple[int, int]] = field(default_factory=list, repr=False)
+
+    def set_affinity(self, pus: frozenset[int] | None) -> None:
+        """Restrict the task to *pus* (``None`` clears the restriction)."""
+        if pus is not None and not pus:
+            raise SchedulerError(f"task {self.tid}: empty affinity mask")
+        self.affinity = pus
+
+    def can_run_on(self, pu: int) -> bool:
+        """Whether the affinity mask allows *pu*."""
+        return self.affinity is None or pu in self.affinity
+
+    def move_to(self, pu: int, now_ns: int) -> None:
+        """Record a migration to *pu* at time *now_ns*."""
+        if not self.can_run_on(pu):
+            raise SchedulerError(f"task {self.tid}: pu {pu} not in affinity mask")
+        if pu != self.pu:
+            self._history.append((now_ns, pu))
+            self.pu = pu
+            self.migrations += 1
+
+    @property
+    def placement_history(self) -> list[tuple[int, int]]:
+        """(time, pu) records of every migration."""
+        return list(self._history)

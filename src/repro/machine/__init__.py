@@ -1,0 +1,31 @@
+"""Hardware machine model: topology tree, caches, interconnect, NUMA.
+
+This package models the shared-memory machine of the paper's Table I — a
+dual-socket Intel Xeon E5-2650 with eight 2-way-SMT cores per socket, private
+L1/L2 caches, one shared 20 MiB L3 per socket and two NUMA nodes — as well as
+arbitrary symmetric topologies for sensitivity studies.
+"""
+
+from repro.machine.cache_params import CacheParams
+from repro.machine.interconnect import InterconnectModel, LinkParams
+from repro.machine.numa import NumaModel, NumaNode
+from repro.machine.topology import (
+    CommDistance,
+    Machine,
+    ProcessingUnit,
+    build_machine,
+    dual_xeon_e5_2650,
+)
+
+__all__ = [
+    "CacheParams",
+    "CommDistance",
+    "InterconnectModel",
+    "LinkParams",
+    "Machine",
+    "NumaModel",
+    "NumaNode",
+    "ProcessingUnit",
+    "build_machine",
+    "dual_xeon_e5_2650",
+]

@@ -1,0 +1,64 @@
+"""Cache geometry descriptors.
+
+:class:`CacheParams` captures size/associativity/line-size/latency of one
+cache level; the actual behaviour lives in :mod:`repro.cachesim`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import CACHE_LINE_SIZE, KIB, MIB, is_power_of_two
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Static parameters of one cache.
+
+    Attributes:
+        name: human-readable name, e.g. ``"L2"``.
+        size: total capacity in bytes.
+        associativity: number of ways per set.
+        line_size: cache line size in bytes (power of two).
+        latency_ns: access (hit) latency in nanoseconds.
+        level: 1, 2 or 3.
+    """
+
+    name: str
+    size: int
+    associativity: int
+    line_size: int = CACHE_LINE_SIZE
+    latency_ns: float = 1.0
+    level: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.associativity <= 0:
+            raise ConfigurationError(f"{self.name}: size/associativity must be positive")
+        if not is_power_of_two(self.line_size):
+            raise ConfigurationError(f"{self.name}: line size must be a power of two")
+        if self.size % (self.associativity * self.line_size) != 0:
+            raise ConfigurationError(
+                f"{self.name}: size {self.size} not divisible by "
+                f"associativity*line_size ({self.associativity}*{self.line_size})"
+            )
+        if not is_power_of_two(self.num_sets):
+            raise ConfigurationError(f"{self.name}: number of sets must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (size / (ways * line size))."""
+        return self.size // (self.associativity * self.line_size)
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of lines the cache can hold."""
+        return self.size // self.line_size
+
+
+# Parameters of the machine in the paper's Table I (Intel Xeon E5-2650,
+# SandyBridge-EP).  Latencies are the commonly published load-to-use numbers
+# for that micro-architecture, converted to ns at 2.0 GHz.
+L1D_E5_2650 = CacheParams(name="L1d", size=32 * KIB, associativity=8, latency_ns=2.0, level=1)
+L2_E5_2650 = CacheParams(name="L2", size=256 * KIB, associativity=8, latency_ns=6.0, level=2)
+L3_E5_2650 = CacheParams(name="L3", size=20 * MIB, associativity=20, latency_ns=15.0, level=3)

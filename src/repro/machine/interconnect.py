@@ -1,0 +1,81 @@
+"""Interconnect cost model: intra-chip ring vs. off-chip link.
+
+The paper attributes part of the mapping gains to replacing slow inter-chip
+(QPI-like) traffic with intra-chip traffic.  This module models both link
+classes with latency + occupancy-per-transfer so cache-to-cache transfers and
+remote memory accesses can be charged to the right link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.machine.topology import CommDistance
+from repro.units import CACHE_LINE_SIZE
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Latency/bandwidth of one interconnect class.
+
+    Attributes:
+        latency_ns: one-way transfer start latency.
+        bandwidth_gbps: sustained bandwidth in GiB/s.
+        energy_pj_per_byte: transfer energy (feeds the energy model).
+    """
+
+    latency_ns: float
+    bandwidth_gbps: float
+    energy_pj_per_byte: float
+
+    def __post_init__(self) -> None:
+        if self.latency_ns < 0 or self.bandwidth_gbps <= 0 or self.energy_pj_per_byte < 0:
+            raise ConfigurationError("invalid link parameters")
+
+    def transfer_ns(self, nbytes: int = CACHE_LINE_SIZE) -> float:
+        """Time to move *nbytes* over this link once (latency + serialisation)."""
+        return self.latency_ns + nbytes / (self.bandwidth_gbps * 1.073741824)
+
+    def transfer_pj(self, nbytes: int = CACHE_LINE_SIZE) -> float:
+        """Energy in picojoules to move *nbytes* over this link once."""
+        return self.energy_pj_per_byte * nbytes
+
+
+#: Intra-chip ring of SandyBridge-EP: low latency, high bandwidth.
+RING_SNB = LinkParams(latency_ns=5.0, bandwidth_gbps=96.0, energy_pj_per_byte=2.0)
+#: Inter-chip QPI link: much higher latency and energy, lower bandwidth.
+QPI_SNB = LinkParams(latency_ns=60.0, bandwidth_gbps=16.0, energy_pj_per_byte=15.0)
+
+
+class InterconnectModel:
+    """Maps a :class:`CommDistance` to the link(s) a transfer crosses.
+
+    * ``SAME_PU`` / ``SAME_CORE``: no interconnect involved (L1/L2 local).
+    * ``SAME_SOCKET``: one intra-chip ring hop.
+    * ``CROSS_SOCKET``: ring hop on each side plus the off-chip link.
+    """
+
+    def __init__(self, ring: LinkParams = RING_SNB, offchip: LinkParams = QPI_SNB) -> None:
+        self.ring = ring
+        self.offchip = offchip
+
+    def transfer_ns(self, distance: CommDistance, nbytes: int = CACHE_LINE_SIZE) -> float:
+        """Interconnect time for one transfer across *distance*."""
+        if distance in (CommDistance.SAME_PU, CommDistance.SAME_CORE):
+            return 0.0
+        if distance == CommDistance.SAME_SOCKET:
+            return self.ring.transfer_ns(nbytes)
+        return 2 * self.ring.transfer_ns(nbytes) + self.offchip.transfer_ns(nbytes)
+
+    def transfer_pj(self, distance: CommDistance, nbytes: int = CACHE_LINE_SIZE) -> float:
+        """Interconnect energy (pJ) for one transfer across *distance*."""
+        if distance in (CommDistance.SAME_PU, CommDistance.SAME_CORE):
+            return 0.0
+        if distance == CommDistance.SAME_SOCKET:
+            return self.ring.transfer_pj(nbytes)
+        return 2 * self.ring.transfer_pj(nbytes) + self.offchip.transfer_pj(nbytes)
+
+    def crosses_offchip(self, distance: CommDistance) -> bool:
+        """True if a transfer at *distance* uses the inter-chip link."""
+        return distance == CommDistance.CROSS_SOCKET

@@ -1,0 +1,278 @@
+"""Machine topology: sockets, cores, SMT processing units and distances.
+
+The topology is a three-level symmetric tree (socket -> core -> PU).  The
+*communication distance* between two PUs corresponds to the three cases the
+paper marks *a*, *b*, *c* in its Figure 1:
+
+* ``SAME_CORE`` (*a*)   — two SMT threads of one core, communicating via L1/L2.
+* ``SAME_SOCKET`` (*b*) — two cores of one socket, communicating via the L3.
+* ``CROSS_SOCKET`` (*c*) — different sockets / NUMA nodes, off-chip link.
+
+PU numbering follows Linux convention on such machines: PUs ``0..n_cores-1``
+are the first hardware thread of each core (socket-major), and PUs
+``n_cores..2*n_cores-1`` are the SMT siblings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.machine.cache_params import (
+    L1D_E5_2650,
+    L2_E5_2650,
+    L3_E5_2650,
+    CacheParams,
+)
+from repro.units import GIB
+
+
+class CommDistance(enum.IntEnum):
+    """Placement distance between two processing units.
+
+    Ordered so that smaller values mean *closer* (cheaper communication).
+    """
+
+    SAME_PU = 0
+    SAME_CORE = 1  # case (a): SMT siblings, share L1/L2
+    SAME_SOCKET = 2  # case (b): share L3 and the intra-chip interconnect
+    CROSS_SOCKET = 3  # case (c): off-chip interconnect between NUMA nodes
+
+
+@dataclass(frozen=True)
+class ProcessingUnit:
+    """One hardware thread (SMT context)."""
+
+    pu_id: int
+    core_id: int
+    socket_id: int
+    smt_id: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PU(pu={self.pu_id}, core={self.core_id}, "
+            f"socket={self.socket_id}, smt={self.smt_id})"
+        )
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A symmetric shared-memory machine.
+
+    Attributes:
+        name: descriptive name for reports.
+        n_sockets: number of processor packages (= NUMA nodes).
+        cores_per_socket: physical cores per package.
+        smt_per_core: hardware threads per core.
+        l1_params / l2_params: per-core private cache parameters.
+        l3_params: per-socket shared cache parameters.
+        memory_per_node: bytes of DRAM attached to each NUMA node.
+        frequency_ghz: nominal core frequency (used by the time model).
+    """
+
+    name: str
+    n_sockets: int
+    cores_per_socket: int
+    smt_per_core: int
+    l1_params: CacheParams = L1D_E5_2650
+    l2_params: CacheParams = L2_E5_2650
+    l3_params: CacheParams = L3_E5_2650
+    memory_per_node: int = 16 * GIB
+    frequency_ghz: float = 2.0
+    _pus: tuple[ProcessingUnit, ...] = field(default=(), repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if min(self.n_sockets, self.cores_per_socket, self.smt_per_core) < 1:
+            raise TopologyError("topology dimensions must all be >= 1")
+        object.__setattr__(self, "_pus", tuple(self._build_pus()))
+
+    # -- construction ---------------------------------------------------
+    def _build_pus(self) -> Iterator[ProcessingUnit]:
+        n_cores = self.n_sockets * self.cores_per_socket
+        for smt in range(self.smt_per_core):
+            for socket in range(self.n_sockets):
+                for core_in_socket in range(self.cores_per_socket):
+                    core = socket * self.cores_per_socket + core_in_socket
+                    yield ProcessingUnit(
+                        pu_id=smt * n_cores + core,
+                        core_id=core,
+                        socket_id=socket,
+                        smt_id=smt,
+                    )
+
+    # -- sizes ------------------------------------------------------------
+    @property
+    def n_cores(self) -> int:
+        """Total physical cores."""
+        return self.n_sockets * self.cores_per_socket
+
+    @property
+    def n_pus(self) -> int:
+        """Total hardware threads (the paper's machine: 32)."""
+        return self.n_cores * self.smt_per_core
+
+    @property
+    def n_numa_nodes(self) -> int:
+        """One NUMA node per socket in this model."""
+        return self.n_sockets
+
+    # -- lookups ----------------------------------------------------------
+    @property
+    def pus(self) -> tuple[ProcessingUnit, ...]:
+        """All PUs, indexed by ``pu_id``."""
+        return self._pus
+
+    def pu(self, pu_id: int) -> ProcessingUnit:
+        """The PU with the given id."""
+        if not 0 <= pu_id < self.n_pus:
+            raise TopologyError(f"pu_id {pu_id} out of range [0, {self.n_pus})")
+        return self._pus[pu_id]
+
+    def core_of(self, pu_id: int) -> int:
+        """Physical core id hosting *pu_id*."""
+        return self.pu(pu_id).core_id
+
+    def socket_of(self, pu_id: int) -> int:
+        """Socket (== NUMA node) id hosting *pu_id*."""
+        return self.pu(pu_id).socket_id
+
+    def numa_node_of(self, pu_id: int) -> int:
+        """NUMA node of a PU (identical to its socket in this model)."""
+        return self.socket_of(pu_id)
+
+    def pus_of_core(self, core_id: int) -> list[int]:
+        """PU ids of all SMT siblings on a core."""
+        if not 0 <= core_id < self.n_cores:
+            raise TopologyError(f"core_id {core_id} out of range [0, {self.n_cores})")
+        return [smt * self.n_cores + core_id for smt in range(self.smt_per_core)]
+
+    def pus_of_socket(self, socket_id: int) -> list[int]:
+        """PU ids of all hardware threads on a socket."""
+        if not 0 <= socket_id < self.n_sockets:
+            raise TopologyError(f"socket_id {socket_id} out of range")
+        return [
+            pu.pu_id for pu in self._pus if pu.socket_id == socket_id
+        ]
+
+    def cores_of_socket(self, socket_id: int) -> list[int]:
+        """Core ids of a socket."""
+        base = socket_id * self.cores_per_socket
+        return list(range(base, base + self.cores_per_socket))
+
+    # -- distances ----------------------------------------------------------
+    def distance(self, pu_a: int, pu_b: int) -> CommDistance:
+        """Communication distance class between two PUs (cases a/b/c)."""
+        a, b = self.pu(pu_a), self.pu(pu_b)
+        if a.pu_id == b.pu_id:
+            return CommDistance.SAME_PU
+        if a.core_id == b.core_id:
+            return CommDistance.SAME_CORE
+        if a.socket_id == b.socket_id:
+            return CommDistance.SAME_SOCKET
+        return CommDistance.CROSS_SOCKET
+
+    def distance_matrix(self) -> np.ndarray:
+        """``(n_pus, n_pus)`` matrix of :class:`CommDistance` values."""
+        cores = np.array([p.core_id for p in self._pus])
+        sockets = np.array([p.socket_id for p in self._pus])
+        same_core = cores[:, None] == cores[None, :]
+        same_socket = sockets[:, None] == sockets[None, :]
+        out = np.full((self.n_pus, self.n_pus), int(CommDistance.CROSS_SOCKET))
+        out[same_socket] = int(CommDistance.SAME_SOCKET)
+        out[same_core] = int(CommDistance.SAME_CORE)
+        np.fill_diagonal(out, int(CommDistance.SAME_PU))
+        return out
+
+    # -- hierarchy for the mapper ------------------------------------------
+    def sharing_levels(self) -> list[list[list[int]]]:
+        """Groups of PUs sharing each hierarchy level, innermost first.
+
+        Returns a list of levels; each level is a list of PU-id groups that
+        share that resource.  Level 0 is cores (shared L1/L2 between SMT
+        siblings), level 1 is sockets (shared L3), level 2 is the machine.
+        The hierarchical mapper pairs threads innermost-level-first.
+        """
+        levels: list[list[list[int]]] = []
+        if self.smt_per_core > 1:
+            levels.append([self.pus_of_core(c) for c in range(self.n_cores)])
+        if self.n_sockets > 1:
+            levels.append([self.pus_of_socket(s) for s in range(self.n_sockets)])
+        levels.append([[p.pu_id for p in self._pus]])
+        return levels
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (used by Table I bench)."""
+        lines = [
+            f"Machine: {self.name}",
+            f"  sockets={self.n_sockets} cores/socket={self.cores_per_socket} "
+            f"smt={self.smt_per_core} (total {self.n_pus} PUs)",
+            f"  L1: {self.l1_params.size // 1024} KiB, {self.l1_params.associativity}-way",
+            f"  L2: {self.l2_params.size // 1024} KiB, {self.l2_params.associativity}-way",
+            f"  L3: {self.l3_params.size // (1024 * 1024)} MiB, "
+            f"{self.l3_params.associativity}-way (per socket)",
+            f"  memory/node: {self.memory_per_node // (1024 ** 3)} GiB, "
+            f"frequency: {self.frequency_ghz} GHz",
+        ]
+        return "\n".join(lines)
+
+
+def build_machine(
+    n_sockets: int,
+    cores_per_socket: int,
+    smt_per_core: int = 1,
+    *,
+    name: str | None = None,
+    l1: CacheParams = L1D_E5_2650,
+    l2: CacheParams = L2_E5_2650,
+    l3: CacheParams = L3_E5_2650,
+    memory_per_node: int = 16 * GIB,
+    frequency_ghz: float = 2.0,
+) -> Machine:
+    """Build an arbitrary symmetric machine."""
+    if name is None:
+        name = f"{n_sockets}s{cores_per_socket}c{smt_per_core}t"
+    return Machine(
+        name=name,
+        n_sockets=n_sockets,
+        cores_per_socket=cores_per_socket,
+        smt_per_core=smt_per_core,
+        l1_params=l1,
+        l2_params=l2,
+        l3_params=l3,
+        memory_per_node=memory_per_node,
+        frequency_ghz=frequency_ghz,
+    )
+
+
+def dual_xeon_e5_2650() -> Machine:
+    """The evaluation machine of the paper's Table I.
+
+    2x Intel Xeon E5-2650 @ 2.0 GHz, 8 cores per socket, 2-way SMT
+    (32 hardware threads), 32 KiB L1d + 256 KiB L2 per core, 20 MiB L3 per
+    socket, 16 GiB DDR3 per NUMA node (32 GiB total).
+    """
+    return build_machine(
+        n_sockets=2,
+        cores_per_socket=8,
+        smt_per_core=2,
+        name="2x Intel Xeon E5-2650",
+        memory_per_node=16 * GIB,
+        frequency_ghz=2.0,
+    )
+
+
+def pin_sequence(machine: Machine, order: Sequence[int] | None = None) -> dict[int, int]:
+    """Identity-ish pinning of thread ids to PU ids (thread i -> PU i).
+
+    Used by static mapping policies as the canonical starting placement; an
+    explicit *order* permutes it.
+    """
+    if order is None:
+        order = list(range(machine.n_pus))
+    if sorted(order) != list(range(machine.n_pus)):
+        raise TopologyError("order must be a permutation of all PU ids")
+    return {tid: int(pu) for tid, pu in enumerate(order)}

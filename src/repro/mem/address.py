@@ -1,0 +1,85 @@
+"""Virtual address decomposition (x86-64-like 4-level, 4 KiB pages).
+
+A 48-bit virtual address splits into four 9-bit radix indices (PML4, PDPT,
+PD, PT) plus a 12-bit page offset.  The simulator stores page-table entries
+flat by VPN for speed; these helpers provide the radix view for fidelity and
+for the page-table-walk cost accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AddressError
+from repro.units import PAGE_SHIFT, PAGE_SIZE
+
+#: Bits per radix level on x86-64 with 4 KiB pages.
+VPN_BITS_PER_LEVEL: int = 9
+#: Number of radix levels.
+N_LEVELS: int = 4
+#: Width of the virtual address space modelled (48-bit canonical).
+VADDR_BITS: int = 48
+MAX_VADDR: int = (1 << VADDR_BITS) - 1
+
+
+def vpn_of(vaddr: int) -> int:
+    """Virtual page number containing *vaddr*."""
+    if not 0 <= vaddr <= MAX_VADDR:
+        raise AddressError(f"virtual address {vaddr:#x} outside 48-bit space")
+    return vaddr >> PAGE_SHIFT
+
+
+def page_offset(vaddr: int) -> int:
+    """Byte offset of *vaddr* within its page."""
+    return vaddr & (PAGE_SIZE - 1)
+
+
+def vaddr_of_vpn(vpn: int, offset: int = 0) -> int:
+    """First byte (plus *offset*) of virtual page *vpn*."""
+    if offset >= PAGE_SIZE or offset < 0:
+        raise AddressError(f"offset {offset} outside page")
+    vaddr = (vpn << PAGE_SHIFT) | offset
+    if vaddr > MAX_VADDR:
+        raise AddressError(f"vpn {vpn:#x} outside 48-bit space")
+    return vaddr
+
+
+def radix_indices(vpn: int) -> tuple[int, int, int, int]:
+    """The (PML4, PDPT, PD, PT) indices of a virtual page number."""
+    mask = (1 << VPN_BITS_PER_LEVEL) - 1
+    return (
+        (vpn >> (3 * VPN_BITS_PER_LEVEL)) & mask,
+        (vpn >> (2 * VPN_BITS_PER_LEVEL)) & mask,
+        (vpn >> VPN_BITS_PER_LEVEL) & mask,
+        vpn & mask,
+    )
+
+
+def vpn_of_radix(indices: tuple[int, int, int, int]) -> int:
+    """Inverse of :func:`radix_indices`."""
+    pml4, pdpt, pd, pt = indices
+    for idx in indices:
+        if not 0 <= idx < (1 << VPN_BITS_PER_LEVEL):
+            raise AddressError(f"radix index {idx} out of range")
+    return (
+        (pml4 << (3 * VPN_BITS_PER_LEVEL))
+        | (pdpt << (2 * VPN_BITS_PER_LEVEL))
+        | (pd << VPN_BITS_PER_LEVEL)
+        | pt
+    )
+
+
+def vpns_of(vaddrs: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`vpn_of` for an int64 array of addresses."""
+    return np.asarray(vaddrs, dtype=np.int64) >> PAGE_SHIFT
+
+
+def region_granules(vaddr: int, granularity: int) -> int:
+    """Index of the *granularity*-sized region containing *vaddr*.
+
+    SPCD decouples detection granularity from the hardware page size
+    (paper Sec. III-C1); this is the generalisation of :func:`vpn_of`.
+    """
+    if granularity <= 0 or granularity & (granularity - 1):
+        raise AddressError("granularity must be a positive power of two")
+    return vaddr // granularity

@@ -1,0 +1,70 @@
+"""Physical frame allocation with NUMA first-touch policy.
+
+Linux's default policy backs a page with memory from the NUMA node of the CPU
+that first touches it.  The paper's baseline relies on this, and SPCD does not
+change data placement (it notes data mapping as possible future use), so the
+simulator reproduces first-touch faithfully.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, PageFaultError
+from repro.units import PAGE_SIZE
+
+
+class FrameAllocator:
+    """Bump-with-free-list frame allocator over per-node frame ranges."""
+
+    def __init__(self, n_nodes: int, frames_per_node: int) -> None:
+        if n_nodes <= 0 or frames_per_node <= 0:
+            raise ConfigurationError("need positive node count and frames per node")
+        self.n_nodes = n_nodes
+        self.frames_per_node = frames_per_node
+        self._next = [node * frames_per_node for node in range(n_nodes)]
+        self._free: list[list[int]] = [[] for _ in range(n_nodes)]
+        self.allocated = [0] * n_nodes
+
+    def node_of_frame(self, frame: int) -> int:
+        """NUMA node owning *frame*."""
+        node = frame // self.frames_per_node
+        if not 0 <= node < self.n_nodes:
+            raise PageFaultError(f"frame {frame} outside any node")
+        return node
+
+    def allocate(self, node: int) -> int:
+        """Allocate one frame on *node* (falls back to other nodes if full).
+
+        Returns the frame number.  Fallback mirrors the kernel's zone
+        fallback order (nearest node first, here: increasing node distance
+        in id space).
+        """
+        order = sorted(range(self.n_nodes), key=lambda n: abs(n - node))
+        for candidate in order:
+            if self._free[candidate]:
+                self.allocated[candidate] += 1
+                return self._free[candidate].pop()
+            limit = (candidate + 1) * self.frames_per_node
+            if self._next[candidate] < limit:
+                frame = self._next[candidate]
+                self._next[candidate] += 1
+                self.allocated[candidate] += 1
+                return frame
+        raise PageFaultError("out of physical memory on all nodes")
+
+    def free(self, frame: int) -> None:
+        """Return *frame* to its node's free list."""
+        node = self.node_of_frame(frame)
+        if self.allocated[node] <= 0:
+            raise PageFaultError(f"double free of frame {frame}")
+        self.allocated[node] -= 1
+        self._free[node].append(frame)
+
+    def available(self, node: int) -> int:
+        """Frames still allocatable on *node*."""
+        limit = (node + 1) * self.frames_per_node
+        return (limit - self._next[node]) + len(self._free[node])
+
+    @classmethod
+    def for_memory(cls, n_nodes: int, bytes_per_node: int) -> "FrameAllocator":
+        """Allocator sized for *bytes_per_node* of DRAM per node."""
+        return cls(n_nodes, max(1, bytes_per_node // PAGE_SIZE))

@@ -1,0 +1,111 @@
+"""Per-PU translation lookaside buffers with shootdown.
+
+SPCD must remove the TLB entry of a page whose present bit it clears,
+otherwise the hardware would keep translating and no fault would occur
+(paper Sec. III-A).  The execution engine's vectorised fast path treats the
+present bitmap as authoritative — exactly the state *after* such a shootdown —
+while this class provides the full insert/lookup/invalidate semantics for the
+per-fault path, the walk-cost accounting and the tests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+
+
+class Tlb:
+    """A fully-associative LRU TLB for one processing unit."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("TLB capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[int, int] = OrderedDict()  # vpn -> frame
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def lookup(self, vpn: int) -> int | None:
+        """Translate *vpn*; returns the frame or ``None`` on a miss."""
+        frame = self._entries.get(vpn)
+        if frame is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(vpn)
+        self.hits += 1
+        return frame
+
+    def insert(self, vpn: int, frame: int) -> None:
+        """Install a translation, evicting LRU if full."""
+        if vpn in self._entries:
+            self._entries.move_to_end(vpn)
+            self._entries[vpn] = frame
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[vpn] = frame
+
+    def invalidate(self, vpn: int) -> bool:
+        """Drop the entry for *vpn* if cached; True if it was present."""
+        if vpn in self._entries:
+            del self._entries[vpn]
+            self.invalidations += 1
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Drop every entry (full TLB flush, e.g. on migration)."""
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._entries
+
+
+class TlbArray:
+    """The TLBs of every PU of a machine, with shootdown broadcast."""
+
+    def __init__(self, n_pus: int, capacity: int = 64) -> None:
+        if n_pus <= 0:
+            raise ConfigurationError("need at least one PU")
+        self.tlbs = [Tlb(capacity) for _ in range(n_pus)]
+        self.shootdowns = 0
+
+    def __getitem__(self, pu_id: int) -> Tlb:
+        return self.tlbs[pu_id]
+
+    def __len__(self) -> int:
+        return len(self.tlbs)
+
+    def shootdown(self, vpns: Iterable[int]) -> int:
+        """Invalidate *vpns* on every PU (inter-processor interrupt model).
+
+        Returns the number of entries actually removed across all TLBs.
+        This is what the SPCD injector performs after clearing present bits.
+        """
+        removed = 0
+        vpn_list = list(vpns)
+        for tlb in self.tlbs:
+            for vpn in vpn_list:
+                if tlb.invalidate(vpn):
+                    removed += 1
+        self.shootdowns += 1
+        return removed
+
+    def flush_pu(self, pu_id: int) -> None:
+        """Full flush of one PU's TLB (thread migration cost)."""
+        self.tlbs[pu_id].flush()
+
+    def total_hits(self) -> int:
+        """Aggregate hit count."""
+        return sum(t.hits for t in self.tlbs)
+
+    def total_misses(self) -> int:
+        """Aggregate miss count."""
+        return sum(t.misses for t in self.tlbs)

@@ -1,0 +1,9 @@
+"""Oracle communication analysis and mapping (paper Sec. V-D)."""
+
+from repro.oracle.analyzer import (
+    matrix_from_ground_truth,
+    matrix_from_trace,
+    oracle_mapping,
+)
+
+__all__ = ["matrix_from_ground_truth", "matrix_from_trace", "oracle_mapping"]

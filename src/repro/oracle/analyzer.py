@@ -1,0 +1,65 @@
+"""Oracle mapping from full access information.
+
+The paper's oracle traces *every* memory access (via simulation, as in [6])
+and derives the communication matrix offline, then pins threads statically
+to the best mapping.  Here the oracle can draw on two equivalent sources:
+
+* the workload's ground-truth pattern (the generator's own definition —
+  what an infinite trace would converge to), or
+* an actual captured trace, analysed page by page.
+
+Both feed the same hierarchical mapper that SPCD uses online, so the
+comparison isolates *detection quality*, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.commmatrix import CommunicationMatrix
+from repro.core.mapping import HierarchicalMapper
+from repro.machine.topology import Machine
+from repro.workloads.base import Workload
+from repro.workloads.trace import TraceCollector
+
+
+def matrix_from_trace(trace: TraceCollector, n_threads: int) -> CommunicationMatrix:
+    """Communication matrix from a full memory trace.
+
+    For every page accessed by two or more threads, each pair of accessing
+    threads communicates by the smaller of their access counts (the number
+    of pairable producer/consumer events on that page).
+    """
+    matrix = CommunicationMatrix(n_threads)
+    for _page, counts in trace.page_access_counts(n_threads).items():
+        tids = np.flatnonzero(counts)
+        if tids.size < 2:
+            continue
+        for a in range(tids.size):
+            for b in range(a + 1, tids.size):
+                i, j = int(tids[a]), int(tids[b])
+                matrix.add(i, j, float(min(counts[i], counts[j])))
+    return matrix
+
+
+def matrix_from_ground_truth(workload: Workload) -> CommunicationMatrix:
+    """The workload's own (overall) communication pattern."""
+    return workload.ground_truth()
+
+
+def oracle_mapping(
+    workload: Workload,
+    machine: Machine,
+    *,
+    trace: TraceCollector | None = None,
+) -> np.ndarray:
+    """Static thread -> PU mapping with full knowledge of the communication.
+
+    Uses a captured *trace* if given, otherwise the ground-truth pattern.
+    """
+    if trace is not None:
+        matrix = matrix_from_trace(trace, workload.n_threads)
+    else:
+        matrix = matrix_from_ground_truth(workload)
+    mapper = HierarchicalMapper(machine)
+    return mapper.map(matrix)

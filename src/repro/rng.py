@@ -1,0 +1,75 @@
+"""Deterministic random-number management.
+
+Every stochastic component takes a :class:`numpy.random.Generator`.  To keep
+whole experiments reproducible while letting repetitions differ, seeds are
+*derived*: a root seed plus a stream of labels yields independent child
+generators (via ``numpy``'s ``SeedSequence.spawn`` mechanism, keyed by a stable
+hash of the labels so the derivation does not depend on call order).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["derive_seed", "make_rng", "RngFactory"]
+
+
+def derive_seed(root: int, *labels: object) -> int:
+    """Derive a 63-bit child seed from *root* and a sequence of labels.
+
+    The derivation is stable across processes and Python versions (it uses
+    BLAKE2b over the repr of the labels, not :func:`hash`).
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str(int(root)).encode())
+    for label in labels:
+        h.update(b"\x1f")
+        h.update(repr(label).encode())
+    return int.from_bytes(h.digest(), "little") & (2**63 - 1)
+
+
+def make_rng(root: int, *labels: object) -> np.random.Generator:
+    """A fresh :class:`numpy.random.Generator` seeded from *root* + labels."""
+    return np.random.default_rng(derive_seed(root, *labels))
+
+
+class RngFactory:
+    """Factory bound to a root seed; hands out labelled child generators.
+
+    Components receive the factory and pull named streams, so adding a new
+    consumer never perturbs existing streams:
+
+    >>> f = RngFactory(42)
+    >>> a = f.rng("workload", 0)
+    >>> b = f.rng("injector")
+    """
+
+    def __init__(self, root_seed: int) -> None:
+        self.root_seed = int(root_seed)
+
+    def rng(self, *labels: object) -> np.random.Generator:
+        """Child generator for the given label path."""
+        return make_rng(self.root_seed, *labels)
+
+    def seed(self, *labels: object) -> int:
+        """Child integer seed for the given label path."""
+        return derive_seed(self.root_seed, *labels)
+
+    def spawn(self, *labels: object) -> "RngFactory":
+        """A sub-factory rooted at the derived seed (for nested components)."""
+        return RngFactory(self.seed(*labels))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"RngFactory(root_seed={self.root_seed})"
+
+
+def interleave_choice(rng: np.random.Generator, weights: Iterable[float]) -> int:
+    """Pick an index proportionally to *weights* (non-negative, not all zero)."""
+    w = np.asarray(list(weights), dtype=float)
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("weights must have a positive sum")
+    return int(rng.choice(len(w), p=w / total))

@@ -1,0 +1,68 @@
+"""Size and time units used throughout the simulator.
+
+All simulated time is kept in **nanoseconds** as integers (virtual time), and
+all sizes in **bytes** as integers.  These helpers exist so that magic numbers
+like ``4096`` or ``10_000_000`` never appear bare at call sites.
+"""
+
+from __future__ import annotations
+
+# --- sizes ------------------------------------------------------------------
+KIB: int = 1024
+MIB: int = 1024 * KIB
+GIB: int = 1024 * MIB
+
+#: Default (x86-64 small) page size used by the paper's evaluation (Table I).
+PAGE_SIZE: int = 4 * KIB
+PAGE_SHIFT: int = 12
+
+#: Cache line size of the modelled SandyBridge machine.
+CACHE_LINE_SIZE: int = 64
+CACHE_LINE_SHIFT: int = 6
+
+# --- time -------------------------------------------------------------------
+NSEC: int = 1
+USEC: int = 1_000
+MSEC: int = 1_000_000
+SEC: int = 1_000_000_000
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round *value* down to a multiple of *alignment* (a power of two)."""
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round *value* up to a multiple of *alignment* (a power of two)."""
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def is_power_of_two(value: int) -> bool:
+    """True iff *value* is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Exact integer log2; raises ``ValueError`` for non-powers of two."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a power of two")
+    return value.bit_length() - 1
+
+
+def format_size(nbytes: int) -> str:
+    """Human-readable size (e.g. ``'20.0 MiB'``) for reports."""
+    for unit, name in ((GIB, "GiB"), (MIB, "MiB"), (KIB, "KiB")):
+        if nbytes >= unit:
+            return f"{nbytes / unit:.1f} {name}"
+    return f"{nbytes} B"
+
+
+def format_time_ns(ns: int) -> str:
+    """Human-readable duration for reports (``'12.3 ms'`` style)."""
+    if ns >= SEC:
+        return f"{ns / SEC:.3f} s"
+    if ns >= MSEC:
+        return f"{ns / MSEC:.3f} ms"
+    if ns >= USEC:
+        return f"{ns / USEC:.3f} us"
+    return f"{ns} ns"

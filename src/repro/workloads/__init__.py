@@ -1,0 +1,38 @@
+"""Synthetic parallel workloads.
+
+The paper evaluates with the OpenMP NAS Parallel Benchmarks and a two-phase
+producer/consumer micro-benchmark.  Since SPCD observes only *which thread
+touches which page when*, these generators reproduce each benchmark's
+published sharing structure (communication pattern, intensity, footprint,
+read/write mix) as per-thread memory-access streams; the arithmetic itself
+is irrelevant to the mechanism and is represented by the instructions-per-
+access factor of the time model.
+"""
+
+from repro.workloads.base import AccessBatch, SharedPairSpec, Workload
+from repro.workloads.npb import NPB_SPECS, NpbSpec, SyntheticNpbWorkload, make_npb
+from repro.workloads.patterns import (
+    chain_pattern,
+    distant_pairs_pattern,
+    neighbor_pairs_pattern,
+    uniform_pattern,
+)
+from repro.workloads.producer_consumer import ProducerConsumerWorkload
+from repro.workloads.trace import TraceCollector, TraceRecord
+
+__all__ = [
+    "AccessBatch",
+    "NPB_SPECS",
+    "NpbSpec",
+    "ProducerConsumerWorkload",
+    "SharedPairSpec",
+    "SyntheticNpbWorkload",
+    "TraceCollector",
+    "TraceRecord",
+    "Workload",
+    "chain_pattern",
+    "distant_pairs_pattern",
+    "make_npb",
+    "neighbor_pairs_pattern",
+    "uniform_pattern",
+]

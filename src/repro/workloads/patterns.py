@@ -1,0 +1,73 @@
+"""Ground-truth communication-pattern constructors.
+
+Each returns a symmetric ``(n, n)`` matrix of *relative* communication
+amounts between thread pairs.  They encode the pattern classes the paper
+observes in Fig. 7: neighbour/domain-decomposition chains (BT, LU, SP, UA,
+MG), weakly heterogeneous variants (CG, DC), homogeneous all-to-all (FT,
+IS) and near-zero (EP), plus the two producer/consumer phases of Fig. 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+def _empty(n: int) -> np.ndarray:
+    if n < 2:
+        raise WorkloadError("patterns need at least two threads")
+    return np.zeros((n, n))
+
+
+def neighbor_pairs_pattern(n: int, weight: float = 1.0) -> np.ndarray:
+    """Disjoint neighbouring pairs: (0,1), (2,3), ... (prod/cons phase 1)."""
+    m = _empty(n)
+    for k in range(n // 2):
+        m[2 * k, 2 * k + 1] = m[2 * k + 1, 2 * k] = weight
+    return m
+
+
+def distant_pairs_pattern(n: int, weight: float = 1.0) -> np.ndarray:
+    """Disjoint distant pairs: (i, i + n/2) (prod/cons phase 2)."""
+    if n % 2:
+        raise WorkloadError("distant pairs need an even thread count")
+    m = _empty(n)
+    half = n // 2
+    for i in range(half):
+        m[i, i + half] = m[i + half, i] = weight
+    return m
+
+
+def chain_pattern(n: int, weight: float = 1.0, falloff: float = 0.25) -> np.ndarray:
+    """Domain-decomposition chain: heavy (i, i+1) links, lighter (i, i+2).
+
+    This is the heterogeneous neighbour pattern of BT/LU/SP/UA/MG in Fig. 7:
+    1-D domain decomposition shares sub-domain borders between successive
+    threads, with weaker second-neighbour coupling.
+    """
+    m = _empty(n)
+    for i in range(n - 1):
+        m[i, i + 1] = m[i + 1, i] = weight
+    for i in range(n - 2):
+        m[i, i + 2] = m[i + 2, i] = weight * falloff
+    return m
+
+
+def uniform_pattern(n: int, weight: float = 1.0) -> np.ndarray:
+    """Homogeneous all-to-all communication (FT, IS in Fig. 7)."""
+    _empty(n)  # validates the thread count
+    m = np.full((n, n), weight, dtype=float)
+    np.fill_diagonal(m, 0.0)
+    return m
+
+
+def mixed_pattern(n: int, hetero_weight: float, uniform_weight: float) -> np.ndarray:
+    """A chain over a uniform background (the CG/DC 'slightly heterogeneous'
+    class of Fig. 7)."""
+    return chain_pattern(n, hetero_weight) + uniform_pattern(n, uniform_weight)
+
+
+def none_pattern(n: int) -> np.ndarray:
+    """No communication at all (the EP limit)."""
+    return _empty(n)

@@ -1,0 +1,129 @@
+"""The two-phase producer/consumer benchmark (paper Sec. V-B, Fig. 5).
+
+Pairs of threads communicate through a shared vector; the pairing switches
+periodically between two phases:
+
+* **phase 1** — neighbouring threads pair up: (0,1), (2,3), ...
+* **phase 2** — distant threads pair up: (i, i + n/2).
+
+The producer of a pair (its lower-id thread) mostly writes the shared
+vector, the consumer mostly reads it, and both also touch a small private
+region.  The best mapping changes with the phase, which is exactly what the
+paper uses to demonstrate SPCD's *dynamic* detection (Fig. 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.commmatrix import CommunicationMatrix
+from repro.errors import WorkloadError
+from repro.mem.addresspace import AddressSpace, Region
+from repro.units import MSEC, PAGE_SIZE
+from repro.workloads.base import AccessBatch, Workload
+from repro.workloads.patterns import distant_pairs_pattern, neighbor_pairs_pattern
+
+
+class ProducerConsumerWorkload(Workload):
+    """16 producer/consumer pairs (32 threads) with periodic phase changes."""
+
+    def __init__(
+        self,
+        n_threads: int = 32,
+        *,
+        phase_period_ns: int = 150 * MSEC,
+        shared_fraction: float = 0.5,
+        vector_pages: int = 8,
+        private_pages: int = 32,
+        start_phase: int = 0,
+    ) -> None:
+        if n_threads % 2:
+            raise WorkloadError("producer/consumer needs an even thread count")
+        super().__init__("producer_consumer", n_threads)
+        self.phase_period_ns = phase_period_ns
+        self.shared_fraction = shared_fraction
+        self.vector_pages = vector_pages
+        self.private_pages = private_pages
+        self.start_phase = start_phase
+        self.instructions_per_access = 2.0
+        self.write_fraction = 0.5
+        self._private: list[Region] = []
+        self._vectors: dict[tuple[int, int], Region] = {}
+
+    # -- pairings ---------------------------------------------------------
+    def partner_of(self, tid: int, phase: int) -> int:
+        """The thread *tid* communicates with during *phase* (0 or 1)."""
+        n = self.n_threads
+        if phase % 2 == 0:
+            return tid + 1 if tid % 2 == 0 else tid - 1
+        half = n // 2
+        return tid + half if tid < half else tid - half
+
+    def phase_at(self, now_ns: int) -> int:
+        """Which phase is active at time *now_ns* (0 or 1)."""
+        return (now_ns // self.phase_period_ns + self.start_phase) % 2
+
+    def is_producer(self, tid: int, phase: int) -> bool:
+        """The lower-id member of each pair produces (mostly writes)."""
+        return tid < self.partner_of(tid, phase)
+
+    # -- lifecycle -----------------------------------------------------------
+    def setup(self, address_space: AddressSpace) -> None:
+        n = self.n_threads
+        self._setup_hot(address_space)
+        self._private = [
+            address_space.mmap(f"pc.priv{t}", self.private_pages * PAGE_SIZE)
+            for t in range(n)
+        ]
+        for phase in (0, 1):
+            for tid in range(n):
+                partner = self.partner_of(tid, phase)
+                key = (min(tid, partner), max(tid, partner))
+                if key not in self._vectors:
+                    self._vectors[key] = address_space.mmap(
+                        f"pc.vec{key[0]}_{key[1]}", self.vector_pages * PAGE_SIZE
+                    )
+        self._mark_setup()
+
+    # -- generation -------------------------------------------------------------
+    def generate(
+        self, tid: int, n: int, now_ns: int, rng: np.random.Generator
+    ) -> AccessBatch:
+        self._require_setup()
+        phase = self.phase_at(now_ns)
+        partner = self.partner_of(tid, phase)
+        key = (min(tid, partner), max(tid, partner))
+        vector = self._vectors[key]
+
+        def cold(m: int) -> np.ndarray:
+            shared_mask = rng.random(m) < self.shared_fraction
+            n_shared = int(shared_mask.sum())
+            out = np.empty(m, dtype=np.int64)
+            out[shared_mask] = self._addresses_in_region(vector, n_shared, rng, locality=1.2)
+            out[~shared_mask] = self._addresses_in_region(
+                self._private[tid], m - n_shared, rng, locality=2.0
+            )
+            return out
+
+        vaddrs = self._mix_hot(tid, n, rng, cold)
+        # Producers write the shared vector, consumers read it; everything
+        # else keeps the workload-level write fraction.
+        writes = self._write_flags(n, rng)
+        in_vector = (vaddrs >= vector.base) & (vaddrs < vector.end)
+        n_vec = int(in_vector.sum())
+        write_prob = 0.8 if self.is_producer(tid, phase) else 0.1
+        writes[in_vector] = rng.random(n_vec) < write_prob
+        return AccessBatch(tid=tid, vaddrs=vaddrs, is_write=writes)
+
+    # -- ground truth ---------------------------------------------------------------
+    def ground_truth(self, now_ns: int | None = None) -> CommunicationMatrix:
+        """True pattern: phase-specific if *now_ns* given, else the blend."""
+        n = self.n_threads
+        if now_ns is not None:
+            phase = self.phase_at(now_ns)
+            pattern = (
+                neighbor_pairs_pattern(n) if phase == 0 else distant_pairs_pattern(n)
+            )
+            return CommunicationMatrix(n, pattern)
+        blend = 0.5 * neighbor_pairs_pattern(n) + 0.5 * distant_pairs_pattern(n)
+        return CommunicationMatrix(n, blend)

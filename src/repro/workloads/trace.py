@@ -1,0 +1,69 @@
+"""Memory-trace capture and replay.
+
+The paper's *oracle* mapping is built from full memory traces analysed
+offline (their Sec. V-D, following [6]).  :class:`TraceCollector` records
+(time, thread, page, write) tuples during a run; the oracle analyser in
+:mod:`repro.oracle` turns such traces into a communication matrix with full
+knowledge of every access — the upper bound SPCD is compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.units import PAGE_SHIFT
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One contiguous chunk of a thread's access stream."""
+
+    tid: int
+    now_ns: int
+    vaddrs: np.ndarray
+    is_write: np.ndarray
+
+
+class TraceCollector:
+    """Accumulates access batches into an in-memory trace."""
+
+    def __init__(self, max_records: int | None = None) -> None:
+        self.records: list[TraceRecord] = []
+        self.max_records = max_records
+        self.total_accesses = 0
+
+    def record(self, tid: int, now_ns: int, vaddrs: np.ndarray, is_write: np.ndarray) -> None:
+        """Append one batch (drops silently once *max_records* is reached)."""
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            return
+        self.records.append(
+            TraceRecord(tid=tid, now_ns=now_ns, vaddrs=vaddrs.copy(), is_write=is_write.copy())
+        )
+        self.total_accesses += int(vaddrs.size)
+
+    def page_access_counts(self, n_threads: int) -> dict[int, np.ndarray]:
+        """Per-page access counts by thread: page -> length-n vector."""
+        counts: dict[int, np.ndarray] = {}
+        for rec in self.records:
+            if rec.tid >= n_threads:
+                raise WorkloadError(f"trace contains tid {rec.tid} >= {n_threads}")
+            pages, page_counts = np.unique(rec.vaddrs >> PAGE_SHIFT, return_counts=True)
+            for page, c in zip(pages, page_counts):
+                vec = counts.get(int(page))
+                if vec is None:
+                    vec = np.zeros(n_threads, dtype=np.int64)
+                    counts[int(page)] = vec
+                vec[rec.tid] += int(c)
+        return counts
+
+    def replay(self):
+        """Iterate records in capture order."""
+        return iter(self.records)
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self.records.clear()
+        self.total_accesses = 0

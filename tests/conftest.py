@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.topology import build_machine, dual_xeon_e5_2650
+
+
+@pytest.fixture
+def machine():
+    """The paper's evaluation machine (2 sockets x 8 cores x 2 SMT)."""
+    return dual_xeon_e5_2650()
+
+
+@pytest.fixture
+def small_machine():
+    """A small machine (2 sockets x 2 cores x 2 SMT = 8 PUs) for fast tests."""
+    return build_machine(2, 2, 2, name="small")
+
+
+@pytest.fixture
+def single_socket_machine():
+    """One socket, four cores, no SMT."""
+    return build_machine(1, 4, 1, name="uniproc")
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator for tests."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,84 @@
+"""Tests for virtual-address decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AddressError
+from repro.mem.address import (
+    MAX_VADDR,
+    page_offset,
+    radix_indices,
+    region_granules,
+    vaddr_of_vpn,
+    vpn_of,
+    vpn_of_radix,
+    vpns_of,
+)
+from repro.units import PAGE_SIZE
+
+
+class TestVpn:
+    def test_first_page(self):
+        assert vpn_of(0) == 0
+        assert vpn_of(PAGE_SIZE - 1) == 0
+
+    def test_second_page(self):
+        assert vpn_of(PAGE_SIZE) == 1
+
+    def test_rejects_out_of_space(self):
+        with pytest.raises(AddressError):
+            vpn_of(MAX_VADDR + 1)
+
+    def test_offset(self):
+        assert page_offset(PAGE_SIZE + 17) == 17
+
+    def test_vaddr_roundtrip(self):
+        for vpn in (0, 1, 12345, 1 << 30):
+            assert vpn_of(vaddr_of_vpn(vpn, 100)) == vpn
+            assert page_offset(vaddr_of_vpn(vpn, 100)) == 100
+
+    def test_vaddr_of_vpn_rejects_bad_offset(self):
+        with pytest.raises(AddressError):
+            vaddr_of_vpn(1, PAGE_SIZE)
+
+
+class TestRadix:
+    def test_roundtrip(self, rng):
+        for _ in range(100):
+            vpn = int(rng.integers(0, 1 << 36))
+            assert vpn_of_radix(radix_indices(vpn)) == vpn
+
+    def test_low_vpn_uses_pt_index_only(self):
+        assert radix_indices(5) == (0, 0, 0, 5)
+
+    def test_level_boundaries(self):
+        assert radix_indices(512) == (0, 0, 1, 0)
+        assert radix_indices(512 * 512) == (0, 1, 0, 0)
+
+    def test_indices_are_nine_bits(self, rng):
+        for _ in range(50):
+            vpn = int(rng.integers(0, 1 << 36))
+            assert all(0 <= i < 512 for i in radix_indices(vpn))
+
+    def test_vpn_of_radix_rejects_wide_index(self):
+        with pytest.raises(AddressError):
+            vpn_of_radix((512, 0, 0, 0))
+
+
+class TestVectorised:
+    def test_vpns_of_matches_scalar(self, rng):
+        addrs = rng.integers(0, 1 << 40, 100)
+        expected = [vpn_of(int(a)) for a in addrs]
+        assert vpns_of(addrs).tolist() == expected
+
+
+class TestRegionGranules:
+    def test_page_granularity_matches_vpn(self):
+        assert region_granules(PAGE_SIZE * 3 + 5, PAGE_SIZE) == 3
+
+    def test_finer_granularity(self):
+        assert region_granules(300, 256) == 1
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(AddressError):
+            region_granules(0, 1000)

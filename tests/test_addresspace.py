@@ -1,0 +1,97 @@
+"""Tests for address-space region management."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.mem.addresspace import AddressSpace
+from repro.units import PAGE_SIZE
+
+
+class TestMmap:
+    def test_regions_page_aligned_and_disjoint(self):
+        space = AddressSpace(1024)
+        a = space.mmap("a", 3 * PAGE_SIZE)
+        b = space.mmap("b", PAGE_SIZE)
+        assert a.base % PAGE_SIZE == 0
+        assert b.base >= a.end
+
+    def test_guard_gap_between_regions(self):
+        space = AddressSpace(1024, guard_pages=1)
+        a = space.mmap("a", PAGE_SIZE)
+        b = space.mmap("b", PAGE_SIZE)
+        assert b.first_vpn == a.first_vpn + a.n_pages + 1
+
+    def test_page_zero_never_mapped(self):
+        space = AddressSpace(1024)
+        a = space.mmap("a", PAGE_SIZE)
+        assert a.first_vpn >= 1
+
+    def test_partial_page_rounds_up(self):
+        space = AddressSpace(1024)
+        a = space.mmap("a", PAGE_SIZE + 1)
+        assert a.n_pages == 2
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace(1024)
+        space.mmap("a", PAGE_SIZE)
+        with pytest.raises(AddressError):
+            space.mmap("a", PAGE_SIZE)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(AddressError):
+            AddressSpace(1024).mmap("a", 0)
+
+    def test_capacity_exhaustion(self):
+        space = AddressSpace(4)
+        space.mmap("a", PAGE_SIZE)
+        with pytest.raises(AddressError):
+            space.mmap("b", 10 * PAGE_SIZE)
+
+
+class TestLookup:
+    def test_region_by_name(self):
+        space = AddressSpace(1024)
+        a = space.mmap("a", PAGE_SIZE)
+        assert space.region("a") == a
+
+    def test_missing_region_raises(self):
+        with pytest.raises(AddressError):
+            AddressSpace(64).region("nope")
+
+    def test_region_of_address(self):
+        space = AddressSpace(1024)
+        a = space.mmap("a", 2 * PAGE_SIZE)
+        assert space.region_of(a.base + 100) == a
+        assert space.region_of(a.end) is None  # guard page
+
+    def test_regions_sorted_by_base(self):
+        space = AddressSpace(1024)
+        space.mmap("z", PAGE_SIZE)
+        space.mmap("a", PAGE_SIZE)
+        regions = space.regions()
+        assert regions[0].name == "z" and regions[1].name == "a"
+
+    def test_total_mapped_bytes(self):
+        space = AddressSpace(1024)
+        space.mmap("a", 3 * PAGE_SIZE)
+        space.mmap("b", PAGE_SIZE)
+        assert space.total_mapped_bytes() == 4 * PAGE_SIZE
+
+
+class TestRegion:
+    def test_vpns_cover_region(self):
+        space = AddressSpace(1024)
+        a = space.mmap("a", 3 * PAGE_SIZE)
+        assert a.vpns().tolist() == [a.first_vpn, a.first_vpn + 1, a.first_vpn + 2]
+
+    def test_addr_bounds(self):
+        space = AddressSpace(1024)
+        a = space.mmap("a", PAGE_SIZE)
+        assert a.addr(0) == a.base
+        with pytest.raises(AddressError):
+            a.addr(PAGE_SIZE)
+
+    def test_contains(self):
+        space = AddressSpace(1024)
+        a = space.mmap("a", PAGE_SIZE)
+        assert a.contains(a.base) and not a.contains(a.end)

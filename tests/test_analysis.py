@@ -1,0 +1,85 @@
+"""Tests for heatmaps and paper-style reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import heatmap_ascii, heatmap_pgm, save_matrix_csv
+from repro.analysis.report import POLICY_ORDER, figure_series, format_figure_table, format_table
+from repro.core.commmatrix import CommunicationMatrix
+from repro.engine.runner import MetricStats, ReplicatedResult
+from repro.workloads.patterns import neighbor_pairs_pattern
+
+
+class TestHeatmapAscii:
+    def test_dark_cells_for_heavy_pairs(self):
+        m = CommunicationMatrix(4, neighbor_pairs_pattern(4, 10))
+        art = heatmap_ascii(m)
+        rows = art.splitlines()
+        assert rows[0][2] == "@"  # cell (0,1) is the maximum -> darkest
+        assert rows[0][0] == " "  # diagonal empty
+
+    def test_title_included(self):
+        art = heatmap_ascii(np.zeros((2, 2)), title="Fig 6a")
+        assert art.splitlines()[0] == "Fig 6a"
+
+    def test_accepts_raw_arrays(self):
+        assert heatmap_ascii(np.eye(3))
+
+
+class TestHeatmapPgm:
+    def test_writes_valid_pgm(self, tmp_path):
+        m = CommunicationMatrix(4, neighbor_pairs_pattern(4))
+        path = heatmap_pgm(m, tmp_path / "m.pgm", cell=2)
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n8 8\n255\n")
+        assert len(data) - len(b"P5\n8 8\n255\n") == 64
+
+    def test_max_cell_is_black(self, tmp_path):
+        m = np.zeros((2, 2))
+        m[0, 1] = m[1, 0] = 1.0
+        path = heatmap_pgm(m, tmp_path / "m.pgm", cell=1)
+        pixels = path.read_bytes()[-4:]
+        assert pixels[1] == 0 and pixels[0] == 255  # comm black, diagonal white
+
+    def test_csv_export(self, tmp_path):
+        path = save_matrix_csv(np.eye(3), tmp_path / "m.csv")
+        loaded = np.loadtxt(path, delimiter=",")
+        assert np.allclose(loaded, np.eye(3))
+
+
+def fake_result(workload, policy, time):
+    return ReplicatedResult(
+        workload=workload,
+        policy=policy,
+        metrics={"exec_time_s": MetricStats(mean=time, ci95=0.0, values=(time,))},
+    )
+
+
+class TestReport:
+    def test_format_table_aligns_columns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xyz", 10000.0]])
+        lines = text.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_figure_series_normalises(self):
+        results = {
+            "BT": {
+                "os": fake_result("BT", "os", 2.0),
+                "spcd": fake_result("BT", "spcd", 1.0),
+            }
+        }
+        series = figure_series(results, "exec_time_s")
+        assert series["BT"]["os"] == 1.0
+        assert series["BT"]["spcd"] == 0.5
+
+    def test_format_figure_table_contains_policies(self):
+        series = {"BT": {"os": 1.0, "random": 0.9, "oracle": 0.8, "spcd": 0.85}}
+        text = format_figure_table(series, title="Figure 8")
+        assert "Figure 8" in text and "BT" in text
+        for p in POLICY_ORDER:
+            assert p.upper() in text
+
+    def test_format_figure_table_handles_missing_policy(self):
+        series = {"BT": {"os": 1.0}}
+        text = format_figure_table(series, title="t")
+        assert "nan" in text

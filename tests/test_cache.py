@@ -1,0 +1,119 @@
+"""Tests for the set-associative cache."""
+
+import pytest
+
+from repro.cachesim.cache import SetAssocCache
+from repro.machine.cache_params import CacheParams
+from repro.units import KIB
+
+
+def make_cache(size_kib=1, ways=2, line=64):
+    return SetAssocCache(CacheParams("t", size_kib * KIB, ways, line))
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        c = make_cache()
+        assert not c.lookup(5)
+        c.insert(5)
+        assert c.lookup(5)
+        assert c.hits == 1 and c.misses == 1
+
+    def test_contains_does_not_count(self):
+        c = make_cache()
+        c.insert(5)
+        c.contains(5)
+        assert c.accesses == 0
+
+    def test_set_index_uses_low_bits(self):
+        c = make_cache()  # 8 sets
+        assert c.set_index(8) == c.set_index(16)
+        assert c.set_index(1) != c.set_index(2)
+
+    def test_miss_rate(self):
+        c = make_cache()
+        c.lookup(1)
+        c.insert(1)
+        c.lookup(1)
+        assert c.miss_rate() == 0.5
+
+
+class TestEviction:
+    def test_lru_victim_in_set(self):
+        c = make_cache(ways=2)  # 8 sets
+        n = c.num_sets
+        c.insert(0)        # set 0
+        c.insert(n)        # set 0
+        c.lookup(0)        # refresh 0
+        victim = c.insert(2 * n)  # set 0, evicts n
+        assert victim == (n, False)
+        assert c.contains(0) and not c.contains(n)
+
+    def test_no_cross_set_interference(self):
+        c = make_cache(ways=1)
+        c.insert(0)
+        assert c.insert(1) is None  # different set
+        assert c.contains(0)
+
+    def test_eviction_carries_dirty_flag(self):
+        c = make_cache(ways=1)
+        c.insert(0, dirty=True)
+        victim = c.insert(c.num_sets)
+        assert victim == (0, True)
+
+    def test_reinsert_refreshes_lru_and_or_dirty(self):
+        c = make_cache(ways=2)
+        n = c.num_sets
+        c.insert(0)
+        c.insert(n)
+        c.insert(0, dirty=True)  # refresh + dirty
+        victim = c.insert(2 * n)
+        assert victim[0] == n
+        assert c.is_dirty(0)
+
+    def test_eviction_counter(self):
+        c = make_cache(ways=1)
+        c.insert(0)
+        c.insert(c.num_sets)
+        assert c.evictions == 1
+
+
+class TestDirtyAndRemove:
+    def test_mark_dirty(self):
+        c = make_cache()
+        c.insert(3)
+        assert not c.is_dirty(3)
+        c.mark_dirty(3)
+        assert c.is_dirty(3)
+
+    def test_mark_dirty_absent_is_noop(self):
+        c = make_cache()
+        c.mark_dirty(3)
+        assert not c.contains(3)
+
+    def test_remove_returns_dirty(self):
+        c = make_cache()
+        c.insert(3, dirty=True)
+        assert c.remove(3) is True
+        assert c.remove(3) is False
+
+    def test_flush(self):
+        c = make_cache()
+        c.insert(1)
+        c.insert(2)
+        assert c.flush() == 2
+        assert len(c) == 0
+
+
+class TestCapacity:
+    def test_never_exceeds_capacity(self, rng):
+        c = make_cache(size_kib=1, ways=2)
+        for _ in range(1000):
+            c.insert(int(rng.integers(0, 10_000)))
+        assert len(c) <= c.num_sets * c.ways
+
+    def test_resident_lines_lists_everything(self):
+        c = make_cache()
+        for line in (1, 2, 3):
+            c.insert(line)
+        assert sorted(c.resident_lines()) == [1, 2, 3]

@@ -1,0 +1,43 @@
+"""Smoke tests for the example scripts.
+
+The heavy examples are compiled (syntax + imports) and the fast one is
+executed end-to-end; the full scripts run in the documented workflows.
+"""
+
+import ast
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+class TestAllExamples:
+    def test_parses(self, path):
+        ast.parse(path.read_text())
+
+    def test_has_module_docstring(self, path):
+        assert ast.get_docstring(ast.parse(path.read_text()))
+
+    def test_has_main_guard(self, path):
+        assert 'if __name__ == "__main__":' in path.read_text()
+
+
+def test_example_names_cover_required_scenarios():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3
+
+
+def test_custom_topology_example_runs():
+    script = Path(__file__).parent.parent / "examples" / "custom_topology.py"
+    proc = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, timeout=300
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "communication cost" in proc.stdout
+    assert "% lower" in proc.stdout

@@ -1,0 +1,135 @@
+"""Tests for the communication filter."""
+
+import numpy as np
+import pytest
+
+from repro.core.commmatrix import CommunicationMatrix
+from repro.core.filter import CommunicationFilter
+from repro.errors import ConfigurationError
+
+
+def matrix_with_pairs(n, pairs, weight=100.0):
+    m = CommunicationMatrix(n)
+    for i, j in pairs:
+        m.add(i, j, weight)
+    return m
+
+
+class TestFirstTrigger:
+    def test_empty_matrix_never_triggers(self):
+        f = CommunicationFilter(4)
+        assert not f.should_remap(CommunicationMatrix(4))
+        assert f.triggers == 0
+
+    def test_first_communication_triggers(self):
+        f = CommunicationFilter(4)
+        assert f.should_remap(matrix_with_pairs(4, [(0, 1)]))
+        assert f.triggers == 1
+
+    def test_partners_snapshotted_on_trigger(self):
+        f = CommunicationFilter(4)
+        f.should_remap(matrix_with_pairs(4, [(0, 1), (2, 3)]))
+        assert f.partners.tolist() == [1, 0, 3, 2]
+
+
+class TestThreshold:
+    def test_stable_pattern_does_not_retrigger(self):
+        f = CommunicationFilter(4)
+        m = matrix_with_pairs(4, [(0, 1), (2, 3)])
+        f.should_remap(m)
+        assert not f.should_remap(m)
+
+    def test_two_changed_partners_trigger(self):
+        """Paper Sec. IV-A: threshold of 2 changed partners."""
+        f = CommunicationFilter(4, margin=0.0, hysteresis=1.0)
+        f.should_remap(matrix_with_pairs(4, [(0, 1), (2, 3)]))
+        assert f.should_remap(matrix_with_pairs(4, [(0, 2), (1, 3)]))
+
+    def test_one_changed_partner_below_threshold(self):
+        f = CommunicationFilter(6, margin=0.0, hysteresis=1.0)
+        f.should_remap(matrix_with_pairs(6, [(0, 1), (2, 3), (4, 5)]))
+        # Only thread 4 and 5 keep each other; move 0's partner to 2 but keep
+        # threads 1..5 intact -> changes for 0 only... 0->2 changes 0 and 2.
+        m = matrix_with_pairs(6, [(0, 1), (2, 3), (4, 5)])
+        m.add(4, 3, 1.0)  # tiny extra, partner of 4 unchanged
+        assert not f.should_remap(m)
+
+    def test_custom_threshold(self):
+        f = CommunicationFilter(8, threshold=5, margin=0.0, hysteresis=1.0)
+        f.should_remap(matrix_with_pairs(8, [(0, 1), (2, 3), (4, 5), (6, 7)]))
+        # 4 threads change partner: below threshold 5.
+        assert not f.should_remap(matrix_with_pairs(8, [(0, 2), (1, 3), (4, 5), (6, 7)]))
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            CommunicationFilter(4, threshold=0)
+
+
+class TestNoiseRobustness:
+    def test_hysteresis_absorbs_near_ties(self):
+        """A partner flip between near-equal neighbours must not count."""
+        f = CommunicationFilter(4, hysteresis=1.25, margin=0.0)
+        m = CommunicationMatrix(4)
+        m.add(0, 1, 100)
+        m.add(2, 3, 100)
+        f.should_remap(m)
+        m2 = CommunicationMatrix(4)
+        m2.add(0, 2, 105)  # new partner only 5% better
+        m2.add(0, 1, 100)
+        m2.add(1, 3, 105)
+        m2.add(2, 3, 100)
+        assert f.changed_partner_count(m2) == 0
+
+    def test_clear_change_beats_hysteresis(self):
+        f = CommunicationFilter(4, hysteresis=1.25, margin=0.5)
+        f.should_remap(matrix_with_pairs(4, [(0, 1), (2, 3)]))
+        m2 = CommunicationMatrix(4)
+        m2.add(0, 2, 1000)
+        m2.add(0, 1, 10)
+        m2.add(1, 3, 1000)
+        m2.add(2, 3, 10)
+        assert f.should_remap(m2)
+
+    def test_margin_blocks_sparse_noise(self):
+        """First partners of barely-communicating threads need real weight."""
+        f = CommunicationFilter(6, margin=1.0)
+        f.should_remap(matrix_with_pairs(6, [(0, 1)], weight=10))
+        m = matrix_with_pairs(6, [(0, 1)], weight=10)
+        m.add(4, 5, 1.0)  # tiny first-time partners, below noise floor
+        assert f.changed_partner_count(m) == 0
+
+    def test_rejects_bad_hysteresis(self):
+        with pytest.raises(ConfigurationError):
+            CommunicationFilter(4, hysteresis=0.5)
+
+    def test_rejects_negative_margin(self):
+        with pytest.raises(ConfigurationError):
+            CommunicationFilter(4, margin=-1)
+
+
+class TestComplexity:
+    def test_evaluation_counts(self):
+        f = CommunicationFilter(4)
+        m = matrix_with_pairs(4, [(0, 1)])
+        f.should_remap(m)
+        f.should_remap(m)
+        assert f.evaluations == 2
+
+
+class TestRestore:
+    def test_restore_rolls_snapshot_back(self):
+        f = CommunicationFilter(4, margin=0.0, hysteresis=1.0)
+        before = f.partners
+        f.should_remap(matrix_with_pairs(4, [(0, 1), (2, 3)]))
+        f.restore(before)
+        # The same evidence triggers again after the rollback.
+        assert f.should_remap(matrix_with_pairs(4, [(0, 1), (2, 3)]))
+
+    def test_restore_copies_input(self):
+        import numpy as np
+
+        f = CommunicationFilter(4)
+        arr = np.array([1, 0, 3, 2])
+        f.restore(arr)
+        arr[0] = 99
+        assert f.partners[0] == 1

@@ -1,0 +1,119 @@
+"""Tests for the SPCD sharing table and Linux hash function."""
+
+import pytest
+
+from repro.core.hashtable import (
+    DEFAULT_TABLE_SIZE,
+    GOLDEN_RATIO_64,
+    ShareEntry,
+    ShareTable,
+    hash_64,
+)
+from repro.errors import ConfigurationError
+
+
+class TestHash64:
+    def test_full_width_default(self):
+        assert hash_64(1) == GOLDEN_RATIO_64
+
+    def test_bits_selects_top_bits(self):
+        full = hash_64(12345)
+        assert hash_64(12345, 16) == full >> 48
+
+    def test_stays_in_range(self):
+        for value in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= hash_64(value, 20) < 2**20
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ConfigurationError):
+            hash_64(1, 0)
+        with pytest.raises(ConfigurationError):
+            hash_64(1, 65)
+
+    def test_spreads_sequential_keys(self):
+        """Golden-ratio hashing must scatter consecutive region ids."""
+        slots = {hash_64(i, 16) for i in range(1000)}
+        assert len(slots) > 990
+
+
+class TestShareEntry:
+    def test_not_shared_with_one_toucher(self):
+        e = ShareEntry(region=1)
+        e.touch(0, 100)
+        assert not e.is_shared
+        assert e.sharers == [0]
+
+    def test_shared_with_two(self):
+        e = ShareEntry(region=1)
+        e.touch(0, 100)
+        e.touch(1, 200)
+        assert e.is_shared
+        assert e.last_access == {0: 100, 1: 200}
+
+    def test_touch_updates_timestamp(self):
+        e = ShareEntry(region=1)
+        e.touch(0, 100)
+        e.touch(0, 300)
+        assert e.last_access[0] == 300
+        assert not e.is_shared
+
+
+class TestShareTable:
+    def test_lookup_absent(self):
+        t = ShareTable(100)
+        assert t.lookup(5) is None
+
+    def test_get_or_create_then_lookup(self):
+        t = ShareTable(100)
+        e = t.get_or_create(5)
+        e.touch(0, 1)
+        assert t.lookup(5) is e
+
+    def test_collision_overwrites(self):
+        """Paper: on hash collision the previous entry is overwritten."""
+        t = ShareTable(1)  # everything collides
+        a = t.get_or_create(1)
+        a.touch(0, 1)
+        b = t.get_or_create(2)
+        assert t.lookup(1) is None
+        assert t.lookup(2) is b
+        assert t.collisions == 1
+
+    def test_same_region_not_a_collision(self):
+        t = ShareTable(1)
+        a = t.get_or_create(1)
+        assert t.get_or_create(1) is a
+        assert t.collisions == 0
+
+    def test_shared_region_count(self):
+        t = ShareTable(100)
+        t.get_or_create(1).touch(0, 1)
+        e = t.get_or_create(2)
+        e.touch(0, 1)
+        e.touch(1, 2)
+        assert t.shared_region_count() == 1
+
+    def test_occupancy(self):
+        t = ShareTable(10)
+        t.get_or_create(1)
+        assert t.occupancy() == pytest.approx(0.1)
+
+    def test_clear(self):
+        t = ShareTable(10)
+        t.get_or_create(1)
+        t.clear()
+        assert len(t) == 0
+
+    def test_default_size_matches_paper(self):
+        assert DEFAULT_TABLE_SIZE == 256_000
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            ShareTable(0)
+
+    def test_low_collision_rate_at_paper_scale(self):
+        """256k slots covering 1 GiB of 4 KiB pages: few collisions."""
+        t = ShareTable(DEFAULT_TABLE_SIZE)
+        for region in range(50_000):
+            t.get_or_create(region)
+        assert t.collisions / 50_000 < 0.12

@@ -1,0 +1,164 @@
+"""Integration tests: end-to-end behaviour matching the paper's findings.
+
+These use moderately sized runs (seconds of wall time); the full-size
+reproduction lives in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.manager import SpcdConfig
+from repro.core.mapping import mapping_comm_cost
+from repro.engine.simulator import EngineConfig, Simulator
+from repro.units import MSEC
+from repro.workloads.npb import make_npb
+from repro.workloads.producer_consumer import ProducerConsumerWorkload
+
+MEDIUM = EngineConfig(batch_size=256, steps=120)
+
+
+@pytest.fixture(scope="module")
+def sp_runs():
+    """SP (the paper's best case) under all four policies, one seed."""
+    out = {}
+    for policy in ("os", "random", "oracle", "spcd"):
+        sim = Simulator(make_npb("SP"), policy, seed=11, config=MEDIUM)
+        out[policy] = (sim, sim.run())
+    return out
+
+
+class TestSpShapes:
+    def test_oracle_reduces_exec_time(self, sp_runs):
+        _, os_res = sp_runs["os"]
+        _, oracle_res = sp_runs["oracle"]
+        assert oracle_res.exec_time_s < os_res.exec_time_s
+
+    def test_oracle_cuts_c2c_strongly(self, sp_runs):
+        """Paper: cache-to-cache falls much faster than execution time."""
+        _, os_res = sp_runs["os"]
+        _, oracle_res = sp_runs["oracle"]
+        c2c_ratio = oracle_res.c2c_transactions / os_res.c2c_transactions
+        time_ratio = oracle_res.exec_time_s / os_res.exec_time_s
+        assert c2c_ratio < 0.75
+        assert c2c_ratio < time_ratio
+
+    def test_oracle_nearly_eliminates_cross_socket_c2c(self, sp_runs):
+        _, os_res = sp_runs["os"]
+        _, oracle_res = sp_runs["oracle"]
+        assert oracle_res.c2c_inter < 0.3 * os_res.c2c_inter
+
+    def test_spcd_detects_the_chain(self, sp_runs):
+        sim, res = sp_runs["spcd"]
+        corr = res.detected_matrix.correlation(sim.workload.ground_truth())
+        assert corr > 0.5
+
+    def test_spcd_mapping_close_to_oracle_quality(self, sp_runs):
+        spcd_sim, spcd_res = sp_runs["spcd"]
+        oracle_sim, _ = sp_runs["oracle"]
+        gt = spcd_sim.workload.ground_truth().matrix
+        machine = spcd_sim.machine
+        spcd_cost = mapping_comm_cost(gt, spcd_sim.scheduler.placement(), machine)
+        oracle_cost = mapping_comm_cost(gt, oracle_sim.scheduler.placement(), machine)
+        random_cost = mapping_comm_cost(
+            gt, np.random.default_rng(0).permutation(32), machine
+        )
+        assert spcd_cost < random_cost
+        assert spcd_cost <= 2.2 * oracle_cost
+
+    def test_spcd_migrates_but_sparingly(self, sp_runs):
+        _, res = sp_runs["spcd"]
+        assert 1 <= res.migrations <= 6  # paper Table II: SP performed 4
+
+    def test_spcd_overhead_under_two_percent_envelope(self, sp_runs):
+        """Paper Sec. V-F: total SPCD overhead below ~2%."""
+        _, res = sp_runs["spcd"]
+        assert res.detection_pct < 2.0
+        assert res.mapping_pct < 1.0
+
+    def test_detected_pattern_is_heterogeneous(self, sp_runs):
+        _, res = sp_runs["spcd"]
+        assert res.detected_matrix.heterogeneity() > 1.0
+
+
+class TestHomogeneousShapes:
+    def test_ep_no_mapping_benefit(self):
+        times = {}
+        for policy in ("os", "oracle"):
+            times[policy] = Simulator(
+                make_npb("EP"), policy, seed=11, config=MEDIUM
+            ).run().exec_time_s
+        assert abs(times["oracle"] / times["os"] - 1) < 0.05
+
+    def test_ep_migrates_at_most_once(self):
+        res = Simulator(make_npb("EP"), "spcd", seed=11, config=MEDIUM).run()
+        assert res.migrations <= 1
+
+    def test_ft_uniform_pattern_detected(self):
+        res = Simulator(make_npb("FT"), "spcd", seed=11, config=MEDIUM).run()
+        det = res.detected_matrix
+        if det.total() > 0:
+            assert det.heterogeneity() < 1.5  # homogeneous-ish
+
+
+class TestInjectionBehaviour:
+    def test_injected_faults_resolved_quickly(self):
+        sim = Simulator(make_npb("BT"), "spcd", seed=5, config=MEDIUM)
+        res = sim.run()
+        # every cleared page that got re-touched produced exactly one fault
+        assert res.injected_faults <= sim.manager.injector.cleared_total
+
+    def test_paper_literal_cumulative_mode_respects_ten_percent(self):
+        from repro.core.injector import InjectorMode
+
+        scfg = SpcdConfig(injector_mode=InjectorMode.CUMULATIVE)
+        res = Simulator(
+            make_npb("BT"), "spcd", seed=5, config=MEDIUM, spcd_config=scfg
+        ).run()
+        assert res.injected_ratio <= 0.11
+
+
+class TestDynamicDetection:
+    def test_producer_consumer_phases_tracked(self):
+        """The Fig. 6 experiment: per-phase matrices match per-phase truth."""
+        wl = ProducerConsumerWorkload(phase_period_ns=400 * MSEC)
+        cfg = EngineConfig(batch_size=256, steps=260)
+        sim = Simulator(wl, "spcd", seed=5, config=cfg)
+        snaps = []
+
+        def cb(s, step, now):
+            if step % 20 == 19:
+                snaps.append((now, s.manager.detector.snapshot_matrix()))
+
+        sim.run(cb)
+        # Build interval matrices and check they correlate with the phase
+        # that was active during the interval.
+        from repro.workloads.patterns import (
+            distant_pairs_pattern,
+            neighbor_pairs_pattern,
+        )
+
+        n = wl.n_threads
+        iu = np.triu_indices(n, 1)
+        good = total = 0
+        for (t0, m0), (t1, m1) in zip(snaps, snaps[1:]):
+            if wl.phase_at(t0) != wl.phase_at(t1):
+                continue  # transition interval (Fig. 6c): skip
+            interval = m1.diff(m0).matrix[iu]
+            if interval.sum() < 10:
+                continue
+            phase = wl.phase_at(t1)
+            own = neighbor_pairs_pattern(n) if phase == 0 else distant_pairs_pattern(n)
+            other = distant_pairs_pattern(n) if phase == 0 else neighbor_pairs_pattern(n)
+            c_own = np.corrcoef(interval, own[iu])[0, 1]
+            c_other = np.corrcoef(interval, other[iu])[0, 1]
+            total += 1
+            if c_own > c_other:
+                good += 1
+        assert total >= 3
+        assert good / total > 0.7
+
+    def test_producer_consumer_remaps_across_phases(self):
+        wl = ProducerConsumerWorkload(phase_period_ns=300 * MSEC)
+        cfg = EngineConfig(batch_size=256, steps=320)
+        res = Simulator(wl, "spcd", seed=5, config=cfg).run()
+        assert res.migrations >= 2  # adapted to at least one phase change

@@ -1,0 +1,206 @@
+"""Tests for the OS substrate: clock, tasks, kthreads, migration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulerError, SimulationError
+from repro.kernelsim.clock import VirtualClock
+from repro.kernelsim.kthread import KernelThread, TimerWheel
+from repro.kernelsim.migration import MigrationEngine
+from repro.kernelsim.scheduler import PinnedScheduler
+from repro.kernelsim.task import Task, TaskState
+from repro.mem.tlb import TlbArray
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now_ns == 0
+
+    def test_advance(self):
+        c = VirtualClock()
+        c.advance(100.7)
+        assert c.now_ns == 100
+
+    def test_advance_to(self):
+        c = VirtualClock(50)
+        c.advance_to(80)
+        assert c.now_ns == 80
+
+    def test_rejects_backwards(self):
+        c = VirtualClock(50)
+        with pytest.raises(SimulationError):
+            c.advance(-1)
+        with pytest.raises(SimulationError):
+            c.advance_to(10)
+
+
+class TestTask:
+    def test_move_records_history(self):
+        t = Task(tid=0, pu=3)
+        t.move_to(5, now_ns=100)
+        assert t.pu == 5 and t.migrations == 1
+        assert t.placement_history == [(100, 5)]
+
+    def test_move_to_same_pu_is_free(self):
+        t = Task(tid=0, pu=3)
+        t.move_to(3, now_ns=100)
+        assert t.migrations == 0
+
+    def test_affinity_enforced(self):
+        t = Task(tid=0, pu=3)
+        t.set_affinity(frozenset({3, 4}))
+        assert t.can_run_on(4) and not t.can_run_on(5)
+        with pytest.raises(SchedulerError):
+            t.move_to(5, now_ns=0)
+
+    def test_empty_affinity_rejected(self):
+        with pytest.raises(SchedulerError):
+            Task(tid=0, pu=0).set_affinity(frozenset())
+
+    def test_initial_state_runnable(self):
+        assert Task(tid=0, pu=0).state is TaskState.RUNNABLE
+
+
+class TestKernelThread:
+    def test_fires_once_per_period(self):
+        calls = []
+        kt = KernelThread("t", 10, calls.append)
+        kt.fire_due(25)
+        assert calls == [10, 20]
+        assert kt.fire_count == 2
+
+    def test_no_fire_before_period(self):
+        calls = []
+        KernelThread("t", 10, calls.append).fire_due(9)
+        assert calls == []
+
+    def test_catchup_limit_skips_missed_wakes(self):
+        calls = []
+        kt = KernelThread("t", 1, calls.append, )
+        kt.fire_due(100, max_catchup=3)
+        assert len(calls) == 3
+        assert kt.next_fire_ns == 101  # remaining periods skipped, not replayed
+
+    def test_disabled_thread_does_not_fire(self):
+        calls = []
+        kt = KernelThread("t", 10, calls.append)
+        kt.enabled = False
+        kt.fire_due(100)
+        assert calls == []
+
+    def test_rejects_zero_period(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            KernelThread("t", 0, lambda now: None)
+
+
+class TestTimerWheel:
+    def test_multiple_threads_fire_independently(self):
+        wheel = TimerWheel()
+        a, b = [], []
+        wheel.register("a", 10, a.append)
+        wheel.register("b", 25, b.append)
+        wheel.tick(50)
+        assert a == [10, 20, 30, 40, 50]
+        assert b == [25, 50]
+
+    def test_tick_returns_total_invocations(self):
+        wheel = TimerWheel()
+        wheel.register("a", 10, lambda now: None)
+        assert wheel.tick(30) == 3
+        assert wheel.tick(30) == 0  # nothing new
+
+
+class TestPinnedScheduler:
+    def test_initial_placement(self, small_machine):
+        sched = PinnedScheduler(small_machine, 4, [3, 2, 1, 0])
+        sched.start()
+        assert sched.placement().tolist() == [3, 2, 1, 0]
+
+    def test_mapping_dict_accepted(self, small_machine):
+        sched = PinnedScheduler(small_machine, 2, {0: 5, 1: 6})
+        sched.start()
+        assert sched.pu_of(1) == 6
+
+    def test_rejects_conflicting_mapping(self, small_machine):
+        with pytest.raises(SchedulerError):
+            PinnedScheduler(small_machine, 2, [1, 1])
+
+    def test_rejects_out_of_range_pu(self, small_machine):
+        with pytest.raises(SchedulerError):
+            PinnedScheduler(small_machine, 1, [99])
+
+    def test_repin_returns_only_actual_moves(self, small_machine):
+        sched = PinnedScheduler(small_machine, 4, [0, 1, 2, 3])
+        sched.start()
+        moves = sched.repin([0, 1, 3, 2], now_ns=10)
+        assert sorted(moves) == [(2, 3), (3, 2)]
+        assert sched.total_migrations() == 2
+
+    def test_on_quantum_never_moves(self, small_machine, rng):
+        sched = PinnedScheduler(small_machine, 4, [0, 1, 2, 3])
+        sched.start()
+        assert sched.on_quantum(10**9, rng) == []
+
+
+class TestCfsLikeScheduler:
+    def _make(self, machine, rng, **kw):
+        from repro.kernelsim.scheduler import CfsLikeScheduler
+
+        sched = CfsLikeScheduler(machine, machine.n_pus, rng, **kw)
+        sched.start()
+        return sched
+
+    def test_one_thread_per_pu(self, small_machine, rng):
+        sched = self._make(small_machine, rng)
+        placement = sched.placement()
+        assert sorted(placement.tolist()) == list(range(small_machine.n_pus))
+
+    def test_shuffle_off_is_identity(self, small_machine, rng):
+        sched = self._make(small_machine, rng, shuffle_initial=False)
+        assert sched.placement().tolist() == list(range(small_machine.n_pus))
+
+    def test_rebalance_swaps_pairs(self, small_machine, rng):
+        sched = self._make(
+            small_machine, rng, rebalance_period_ns=10, migration_rate=1.0
+        )
+        moves = sched.on_quantum(10, rng)
+        assert len(moves) == 2
+        # Still one thread per PU after the swap.
+        assert sorted(sched.placement().tolist()) == list(range(small_machine.n_pus))
+
+    def test_rebalance_respects_period(self, small_machine, rng):
+        sched = self._make(
+            small_machine, rng, rebalance_period_ns=1000, migration_rate=1.0
+        )
+        assert sched.on_quantum(10, rng) == []
+
+    def test_oversubscription_wraps(self, small_machine, rng):
+        from repro.kernelsim.scheduler import CfsLikeScheduler
+
+        sched = CfsLikeScheduler(small_machine, 2 * small_machine.n_pus, rng)
+        sched.start()
+        counts = np.bincount(sched.placement(), minlength=small_machine.n_pus)
+        assert (counts == 2).all()
+
+
+class TestMigrationEngine:
+    def test_apply_mapping_counts_and_costs(self, small_machine):
+        sched = PinnedScheduler(small_machine, 4, [0, 1, 2, 3])
+        sched.start()
+        tlbs = TlbArray(small_machine.n_pus)
+        tlbs[2].insert(7, 70)
+        engine = MigrationEngine(sched, tlbs, cost_per_move_ns=100.0)
+        moved = engine.apply_mapping([0, 1, 3, 2], now_ns=5)
+        assert moved == 2
+        assert engine.moves == 2 and engine.migration_events == 1
+        assert engine.cost_ns == 200.0
+        assert 7 not in tlbs[2]  # destination TLB flushed
+
+    def test_noop_mapping_not_an_event(self, small_machine):
+        sched = PinnedScheduler(small_machine, 4, [0, 1, 2, 3])
+        sched.start()
+        engine = MigrationEngine(sched)
+        assert engine.apply_mapping([0, 1, 2, 3], now_ns=5) == 0
+        assert engine.migration_events == 0

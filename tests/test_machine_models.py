@@ -1,0 +1,111 @@
+"""Tests for cache parameters, interconnect and NUMA models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.cache_params import (
+    L1D_E5_2650,
+    L2_E5_2650,
+    L3_E5_2650,
+    CacheParams,
+)
+from repro.machine.interconnect import QPI_SNB, RING_SNB, InterconnectModel, LinkParams
+from repro.machine.numa import NumaModel
+from repro.machine.topology import CommDistance
+from repro.units import KIB
+
+
+class TestCacheParams:
+    def test_num_sets(self):
+        p = CacheParams("t", 32 * KIB, 8, 64)
+        assert p.num_sets == 64
+
+    def test_num_lines(self):
+        assert L2_E5_2650.num_lines == 4096
+
+    def test_l3_geometry_is_consistent(self):
+        assert L3_E5_2650.num_sets * L3_E5_2650.associativity * 64 == L3_E5_2650.size
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigurationError):
+            CacheParams("bad", 48 * KIB, 8, 64)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheParams("bad", 0, 8, 64)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigurationError):
+            CacheParams("bad", 32 * KIB, 8, 48)
+
+    def test_latency_increases_with_level(self):
+        assert L1D_E5_2650.latency_ns < L2_E5_2650.latency_ns < L3_E5_2650.latency_ns
+
+
+class TestLinkParams:
+    def test_transfer_time_has_latency_floor(self):
+        assert RING_SNB.transfer_ns(0) == RING_SNB.latency_ns
+
+    def test_transfer_time_grows_with_size(self):
+        assert QPI_SNB.transfer_ns(4096) > QPI_SNB.transfer_ns(64)
+
+    def test_energy_proportional_to_bytes(self):
+        assert QPI_SNB.transfer_pj(128) == 2 * QPI_SNB.transfer_pj(64)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            LinkParams(latency_ns=-1, bandwidth_gbps=10, energy_pj_per_byte=1)
+
+    def test_qpi_slower_and_hungrier_than_ring(self):
+        assert QPI_SNB.latency_ns > RING_SNB.latency_ns
+        assert QPI_SNB.energy_pj_per_byte > RING_SNB.energy_pj_per_byte
+
+
+class TestInterconnectModel:
+    @pytest.fixture
+    def ic(self):
+        return InterconnectModel()
+
+    def test_core_local_is_free(self, ic):
+        assert ic.transfer_ns(CommDistance.SAME_CORE) == 0.0
+        assert ic.transfer_pj(CommDistance.SAME_PU) == 0.0
+
+    def test_cost_monotone_with_distance(self, ic):
+        costs = [
+            ic.transfer_ns(d)
+            for d in (CommDistance.SAME_CORE, CommDistance.SAME_SOCKET, CommDistance.CROSS_SOCKET)
+        ]
+        assert costs == sorted(costs) and costs[1] < costs[2]
+
+    def test_cross_socket_includes_both_rings(self, ic):
+        expected = 2 * ic.ring.transfer_ns(64) + ic.offchip.transfer_ns(64)
+        assert ic.transfer_ns(CommDistance.CROSS_SOCKET, 64) == pytest.approx(expected)
+
+    def test_crosses_offchip_flag(self, ic):
+        assert ic.crosses_offchip(CommDistance.CROSS_SOCKET)
+        assert not ic.crosses_offchip(CommDistance.SAME_SOCKET)
+
+
+class TestNumaModel:
+    @pytest.fixture
+    def numa(self, machine):
+        return NumaModel(machine)
+
+    def test_one_node_per_socket(self, numa):
+        assert numa.n_nodes() == 2
+
+    def test_local_cheaper_than_remote(self, numa):
+        local = numa.access_latency_ns(0, 0)
+        remote = numa.access_latency_ns(0, 1)
+        assert local < remote
+
+    def test_locality_check(self, numa, machine):
+        pu_on_socket1 = machine.pus_of_socket(1)[0]
+        assert numa.is_local(pu_on_socket1, 1)
+        assert not numa.is_local(pu_on_socket1, 0)
+
+    def test_remote_energy_higher(self, numa):
+        assert numa.access_energy_pj(0, 1) > numa.access_energy_pj(0, 0)
+
+    def test_node_capacity_from_machine(self, numa, machine):
+        assert numa.nodes[0].capacity == machine.memory_per_node

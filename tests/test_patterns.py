@@ -1,0 +1,63 @@
+"""Tests for ground-truth pattern constructors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.patterns import (
+    chain_pattern,
+    distant_pairs_pattern,
+    mixed_pattern,
+    neighbor_pairs_pattern,
+    none_pattern,
+    uniform_pattern,
+)
+
+
+@pytest.mark.parametrize(
+    "builder",
+    [chain_pattern, neighbor_pairs_pattern, distant_pairs_pattern, uniform_pattern, none_pattern],
+)
+class TestCommonProperties:
+    def test_symmetric(self, builder):
+        m = builder(8)
+        assert np.allclose(m, m.T)
+
+    def test_zero_diagonal(self, builder):
+        assert np.all(np.diag(builder(8)) == 0)
+
+    def test_non_negative(self, builder):
+        assert (builder(8) >= 0).all()
+
+    def test_rejects_tiny(self, builder):
+        with pytest.raises(WorkloadError):
+            builder(1)
+
+
+class TestSpecificShapes:
+    def test_neighbor_pairs_disjoint(self):
+        m = neighbor_pairs_pattern(8)
+        assert m[0, 1] == 1 and m[1, 2] == 0
+
+    def test_distant_pairs_half_offset(self):
+        m = distant_pairs_pattern(8)
+        assert m[0, 4] == 1 and m[0, 1] == 0
+
+    def test_distant_rejects_odd(self):
+        with pytest.raises(WorkloadError):
+            distant_pairs_pattern(7)
+
+    def test_chain_has_falloff(self):
+        m = chain_pattern(8, weight=4.0, falloff=0.25)
+        assert m[0, 1] == 4.0 and m[0, 2] == 1.0 and m[0, 3] == 0
+
+    def test_uniform_all_equal(self):
+        m = uniform_pattern(6, 2.0)
+        off = m[np.triu_indices(6, 1)]
+        assert (off == 2.0).all()
+
+    def test_mixed_is_sum(self):
+        assert np.allclose(mixed_pattern(8, 1.0, 0.1), chain_pattern(8) + uniform_pattern(8, 0.1))
+
+    def test_none_is_empty(self):
+        assert none_pattern(8).sum() == 0

@@ -1,0 +1,221 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cachesim.cache import SetAssocCache
+from repro.cachesim.hierarchy import CoherentHierarchy
+from repro.core.commmatrix import CommunicationMatrix
+from repro.core.grouping import group_matrix
+from repro.core.hashtable import ShareTable, hash_64
+from repro.core.matching import (
+    greedy_matching,
+    matching_weight,
+    max_weight_perfect_matching,
+)
+from repro.machine.cache_params import CacheParams
+from repro.machine.topology import build_machine
+from repro.mem.pagetable import PageTable
+from repro.units import KIB
+
+
+# ---------------------------------------------------------------------------
+# matching
+# ---------------------------------------------------------------------------
+def symmetric_matrix(n, values):
+    m = np.zeros((n, n))
+    iu = np.triu_indices(n, 1)
+    m[iu] = values
+    return m + m.T
+
+
+@given(
+    n=st.sampled_from([2, 4, 6, 8]),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_perfect_matching_dominates_greedy_and_covers(n, data):
+    values = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=100),
+            min_size=n * (n - 1) // 2,
+            max_size=n * (n - 1) // 2,
+        )
+    )
+    w = symmetric_matrix(n, values)
+    pairs = max_weight_perfect_matching(w)
+    # perfect cover
+    assert sorted(v for p in pairs for v in p) == list(range(n))
+    # optimality dominates greedy
+    assert matching_weight(w, pairs) >= matching_weight(w, greedy_matching(w)) - 1e-9
+
+
+@given(
+    perm_seed=st.integers(0, 2**31),
+    n=st.sampled_from([4, 6]),
+    data=st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_matching_weight_invariant_under_relabelling(perm_seed, n, data):
+    """Optimal matching weight is invariant under vertex permutation."""
+    values = data.draw(
+        st.lists(
+            st.integers(0, 50), min_size=n * (n - 1) // 2, max_size=n * (n - 1) // 2
+        )
+    )
+    w = symmetric_matrix(n, values)
+    perm = np.random.default_rng(perm_seed).permutation(n)
+    wp = w[np.ix_(perm, perm)]
+    w1 = matching_weight(w, max_weight_perfect_matching(w))
+    w2 = matching_weight(wp, max_weight_perfect_matching(wp))
+    assert w1 == w2
+
+
+# ---------------------------------------------------------------------------
+# communication matrix
+# ---------------------------------------------------------------------------
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7), st.floats(0, 100)),
+        max_size=60,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_comm_matrix_stays_symmetric_nonneg(ops):
+    m = CommunicationMatrix(8)
+    for i, j, amount in ops:
+        m.add(i, j, amount)
+    arr = m.matrix
+    assert np.allclose(arr, arr.T)
+    assert (arr >= 0).all()
+    assert np.all(np.diag(arr) == 0)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5), st.floats(0.1, 10)),
+        min_size=1,
+        max_size=40,
+    ),
+    factor=st.floats(0.0, 1.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_decay_preserves_pattern_shape(ops, factor):
+    m = CommunicationMatrix(6)
+    for i, j, amount in ops:
+        m.add(i, j, amount)
+    before = m.matrix.copy()
+    m.decay(factor)
+    assert np.allclose(m.matrix, before * factor)
+
+
+# ---------------------------------------------------------------------------
+# grouping
+# ---------------------------------------------------------------------------
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_group_matrix_conserves_cross_communication(data):
+    n = 8
+    values = data.draw(
+        st.lists(st.floats(0, 10), min_size=n * (n - 1) // 2, max_size=n * (n - 1) // 2)
+    )
+    m = symmetric_matrix(n, values)
+    groups = [(0, 1), (2, 3), (4, 5), (6, 7)]
+    h = group_matrix(m, groups)
+    # Total cross-group communication is preserved.
+    intra = sum(m[a, b] + m[b, a] for a, b in groups)
+    assert h.sum() == (m.sum() - intra) or abs(h.sum() - (m.sum() - intra)) < 1e-9
+
+
+# ---------------------------------------------------------------------------
+# hash table
+# ---------------------------------------------------------------------------
+@given(regions=st.lists(st.integers(0, 2**48), min_size=1, max_size=200))
+@settings(max_examples=30, deadline=None)
+def test_share_table_lookup_consistency(regions):
+    """After any insertion sequence, a lookup returns an entry for the region
+    itself or None — never an aliased entry of a different region."""
+    t = ShareTable(64)
+    for r in regions:
+        t.get_or_create(r).touch(0, 1)
+    for r in regions:
+        e = t.lookup(r)
+        assert e is None or e.region == r
+
+
+@given(value=st.integers(0, 2**64 - 1), bits=st.integers(1, 64))
+@settings(max_examples=100, deadline=None)
+def test_hash64_range(value, bits):
+    assert 0 <= hash_64(value, bits) < (1 << bits)
+
+
+# ---------------------------------------------------------------------------
+# page table
+# ---------------------------------------------------------------------------
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 31)), min_size=1, max_size=200
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_page_table_consistency_under_any_op_sequence(ops):
+    table = PageTable(32)
+    populated = set()
+    next_frame = 0
+    for op, vpn in ops:
+        if op == 0 and vpn not in populated:
+            table.map_page(vpn, next_frame, vpn % 2)
+            populated.add(vpn)
+            next_frame += 1
+        elif op == 1 and vpn in populated:
+            table.unmap_page(vpn)
+            populated.discard(vpn)
+        elif op == 2:
+            table.clear_present(vpn)
+        elif op == 3 and vpn in populated and table.is_present(vpn) is False:
+            table.restore_present(vpn)
+    assert table.consistency_ok()
+    assert set(table.populated_vpns().tolist()) == populated
+
+
+# ---------------------------------------------------------------------------
+# caches
+# ---------------------------------------------------------------------------
+@given(lines=st.lists(st.integers(0, 500), min_size=1, max_size=300))
+@settings(max_examples=30, deadline=None)
+def test_cache_capacity_never_exceeded(lines):
+    cache = SetAssocCache(CacheParams("t", 1 * KIB, 2, 64))
+    for line in lines:
+        cache.insert(line)
+    for s in cache._sets:
+        assert len(s) <= cache.ways
+    # most recently inserted line of each set is resident
+    assert cache.contains(lines[-1])
+
+
+@given(
+    accesses=st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 80), st.booleans(), st.integers(0, 1)),
+        min_size=1,
+        max_size=400,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_hierarchy_invariants_hold_for_any_access_sequence(accesses):
+    machine = build_machine(
+        2, 2, 2,
+        l1=CacheParams("L1", 1 * KIB, 2, 64, 2.0, 1),
+        l2=CacheParams("L2", 2 * KIB, 2, 64, 6.0, 2),
+        l3=CacheParams("L3", 4 * KIB, 4, 64, 15.0, 3),
+    )
+    hier = CoherentHierarchy(machine)
+    for pu, line, is_write, home in accesses:
+        hier.access(pu, line, is_write, home)
+    assert hier.check_invariants() == []
+    s = hier.stats
+    # accounting sanity: every private miss is resolved exactly once
+    assert s.l2_misses == s.l3_hits + s.l3_misses
+    assert s.l1_misses == s.l2_hits + s.l2_misses
+    resolved = s.c2c_inter + s.dram_reads_local + s.dram_reads_remote
+    assert resolved <= s.l3_misses + s.c2c_intra + 1

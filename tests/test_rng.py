@@ -1,0 +1,62 @@
+"""Tests for deterministic seed derivation."""
+
+import numpy as np
+import pytest
+
+from repro.rng import RngFactory, derive_seed, interleave_choice, make_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_differs_by_label(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_differs_by_root(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_order_sensitive(self):
+        assert derive_seed(42, "a", "b") != derive_seed(42, "b", "a")
+
+    def test_fits_63_bits(self):
+        for i in range(50):
+            assert 0 <= derive_seed(7, i) < 2**63
+
+
+class TestRngFactory:
+    def test_same_labels_same_stream(self):
+        f = RngFactory(9)
+        a = f.rng("x").random(5)
+        b = f.rng("x").random(5)
+        assert np.allclose(a, b)
+
+    def test_different_labels_different_stream(self):
+        f = RngFactory(9)
+        assert not np.allclose(f.rng("x").random(5), f.rng("y").random(5))
+
+    def test_spawn_is_nested_derivation(self):
+        f = RngFactory(9)
+        child = f.spawn("sub")
+        assert child.root_seed == f.seed("sub")
+
+    def test_make_rng_matches_factory(self):
+        assert np.allclose(
+            make_rng(3, "w", 0).random(4), RngFactory(3).rng("w", 0).random(4)
+        )
+
+
+class TestInterleaveChoice:
+    def test_respects_zero_weights(self, rng):
+        picks = {interleave_choice(rng, [0.0, 1.0, 0.0]) for _ in range(20)}
+        assert picks == {1}
+
+    def test_rejects_all_zero(self, rng):
+        with pytest.raises(ValueError):
+            interleave_choice(rng, [0.0, 0.0])
+
+    def test_distribution_roughly_proportional(self, rng):
+        counts = np.zeros(2)
+        for _ in range(2000):
+            counts[interleave_choice(rng, [1.0, 3.0])] += 1
+        assert 0.2 < counts[0] / 2000 < 0.3

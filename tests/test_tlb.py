@@ -1,0 +1,85 @@
+"""Tests for the TLB model and shootdowns."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.tlb import Tlb, TlbArray
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb(4)
+        assert tlb.lookup(1) is None
+        tlb.insert(1, 100)
+        assert tlb.lookup(1) == 100
+        assert tlb.hits == 1 and tlb.misses == 1
+
+    def test_lru_eviction(self):
+        tlb = Tlb(2)
+        tlb.insert(1, 10)
+        tlb.insert(2, 20)
+        tlb.lookup(1)  # refresh 1; 2 becomes LRU
+        tlb.insert(3, 30)
+        assert 2 not in tlb
+        assert 1 in tlb and 3 in tlb
+
+    def test_reinsert_updates_frame(self):
+        tlb = Tlb(2)
+        tlb.insert(1, 10)
+        tlb.insert(1, 11)
+        assert tlb.lookup(1) == 11
+        assert len(tlb) == 1
+
+    def test_invalidate(self):
+        tlb = Tlb(4)
+        tlb.insert(1, 10)
+        assert tlb.invalidate(1)
+        assert not tlb.invalidate(1)
+        assert tlb.invalidations == 1
+
+    def test_flush(self):
+        tlb = Tlb(4)
+        tlb.insert(1, 10)
+        tlb.insert(2, 20)
+        tlb.flush()
+        assert len(tlb) == 0
+        assert tlb.invalidations == 2
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            Tlb(0)
+
+
+class TestTlbArray:
+    def test_shootdown_hits_every_pu(self):
+        tlbs = TlbArray(4, capacity=8)
+        for pu in range(4):
+            tlbs[pu].insert(7, 70)
+        removed = tlbs.shootdown([7])
+        assert removed == 4
+        assert all(7 not in tlbs[pu] for pu in range(4))
+        assert tlbs.shootdowns == 1
+
+    def test_shootdown_multiple_vpns(self):
+        tlbs = TlbArray(2)
+        tlbs[0].insert(1, 10)
+        tlbs[1].insert(2, 20)
+        assert tlbs.shootdown([1, 2, 3]) == 2
+
+    def test_flush_pu_only_affects_target(self):
+        tlbs = TlbArray(2)
+        tlbs[0].insert(1, 10)
+        tlbs[1].insert(1, 10)
+        tlbs.flush_pu(0)
+        assert 1 not in tlbs[0] and 1 in tlbs[1]
+
+    def test_aggregate_counters(self):
+        tlbs = TlbArray(2)
+        tlbs[0].lookup(1)
+        tlbs[0].insert(1, 10)
+        tlbs[0].lookup(1)
+        assert tlbs.total_hits() == 1 and tlbs.total_misses() == 1
+
+    def test_rejects_zero_pus(self):
+        with pytest.raises(ConfigurationError):
+            TlbArray(0)

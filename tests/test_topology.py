@@ -1,0 +1,148 @@
+"""Tests for the machine topology model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.machine.topology import (
+    CommDistance,
+    build_machine,
+    dual_xeon_e5_2650,
+    pin_sequence,
+)
+
+
+class TestXeonMachine:
+    def test_table1_dimensions(self, machine):
+        assert machine.n_sockets == 2
+        assert machine.cores_per_socket == 8
+        assert machine.smt_per_core == 2
+        assert machine.n_cores == 16
+        assert machine.n_pus == 32
+
+    def test_cache_sizes_match_table1(self, machine):
+        assert machine.l1_params.size == 32 * 1024
+        assert machine.l2_params.size == 256 * 1024
+        assert machine.l3_params.size == 20 * 1024 * 1024
+
+    def test_one_numa_node_per_socket(self, machine):
+        assert machine.n_numa_nodes == 2
+
+    def test_describe_mentions_dimensions(self, machine):
+        text = machine.describe()
+        assert "sockets=2" in text and "L3: 20 MiB" in text
+
+
+class TestPuNumbering:
+    def test_pu_ids_dense(self, machine):
+        assert [p.pu_id for p in machine.pus] == list(range(32))
+
+    def test_linux_style_smt_numbering(self, machine):
+        """PUs 0..15 are first contexts; PU i and i+16 are SMT siblings."""
+        for core in range(16):
+            assert machine.pus_of_core(core) == [core, core + 16]
+
+    def test_socket_of_first_half_cores(self, machine):
+        assert machine.socket_of(0) == 0
+        assert machine.socket_of(8) == 1
+        assert machine.socket_of(16) == 0  # SMT sibling of core 0
+        assert machine.socket_of(24) == 1
+
+    def test_pus_of_socket_partition(self, machine):
+        s0 = set(machine.pus_of_socket(0))
+        s1 = set(machine.pus_of_socket(1))
+        assert s0 | s1 == set(range(32))
+        assert not s0 & s1
+
+    def test_cores_of_socket(self, machine):
+        assert machine.cores_of_socket(0) == list(range(8))
+        assert machine.cores_of_socket(1) == list(range(8, 16))
+
+    def test_out_of_range_pu_rejected(self, machine):
+        with pytest.raises(TopologyError):
+            machine.pu(32)
+
+    def test_out_of_range_core_rejected(self, machine):
+        with pytest.raises(TopologyError):
+            machine.pus_of_core(16)
+
+
+class TestDistances:
+    def test_same_pu(self, machine):
+        assert machine.distance(3, 3) is CommDistance.SAME_PU
+
+    def test_smt_siblings_are_case_a(self, machine):
+        assert machine.distance(0, 16) is CommDistance.SAME_CORE
+
+    def test_same_socket_is_case_b(self, machine):
+        assert machine.distance(0, 7) is CommDistance.SAME_SOCKET
+
+    def test_cross_socket_is_case_c(self, machine):
+        assert machine.distance(0, 8) is CommDistance.CROSS_SOCKET
+
+    def test_distance_symmetric(self, machine, rng):
+        for _ in range(50):
+            a, b = rng.integers(0, 32, 2)
+            assert machine.distance(int(a), int(b)) == machine.distance(int(b), int(a))
+
+    def test_distance_matrix_matches_pairwise(self, small_machine):
+        m = small_machine.distance_matrix()
+        for a in range(small_machine.n_pus):
+            for b in range(small_machine.n_pus):
+                assert m[a, b] == int(small_machine.distance(a, b))
+
+    def test_distance_ordering(self):
+        assert (
+            CommDistance.SAME_PU
+            < CommDistance.SAME_CORE
+            < CommDistance.SAME_SOCKET
+            < CommDistance.CROSS_SOCKET
+        )
+
+
+class TestSharingLevels:
+    def test_levels_of_xeon(self, machine):
+        levels = machine.sharing_levels()
+        # cores (SMT), sockets, machine
+        assert len(levels) == 3
+        assert len(levels[0]) == 16 and all(len(g) == 2 for g in levels[0])
+        assert len(levels[1]) == 2 and all(len(g) == 16 for g in levels[1])
+        assert levels[2] == [list(range(32))]
+
+    def test_no_smt_level_without_smt(self, single_socket_machine):
+        levels = single_socket_machine.sharing_levels()
+        assert len(levels) == 1  # machine only (single socket, no SMT)
+
+
+class TestBuildMachine:
+    def test_rejects_zero_dimension(self):
+        with pytest.raises(TopologyError):
+            build_machine(0, 4, 1)
+
+    def test_asymmetric_counts(self):
+        m = build_machine(3, 5, 2)
+        assert m.n_pus == 30
+        assert m.n_cores == 15
+
+    def test_default_name(self):
+        assert build_machine(2, 4, 2).name == "2s4c2t"
+
+
+class TestPinSequence:
+    def test_identity(self, small_machine):
+        pins = pin_sequence(small_machine)
+        assert pins == {i: i for i in range(small_machine.n_pus)}
+
+    def test_permutation(self, small_machine):
+        order = list(reversed(range(small_machine.n_pus)))
+        pins = pin_sequence(small_machine, order)
+        assert pins[0] == small_machine.n_pus - 1
+
+    def test_rejects_non_permutation(self, small_machine):
+        with pytest.raises(TopologyError):
+            pin_sequence(small_machine, [0] * small_machine.n_pus)
+
+
+class TestFactory:
+    def test_dual_xeon_is_fresh_each_call(self):
+        assert dual_xeon_e5_2650() is not dual_xeon_e5_2650()

@@ -1,0 +1,109 @@
+"""Tests for trace capture and the oracle analyser."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import mapping_comm_cost
+from repro.machine.topology import CommDistance
+from repro.mem.addresspace import AddressSpace
+from repro.oracle.analyzer import (
+    matrix_from_ground_truth,
+    matrix_from_trace,
+    oracle_mapping,
+)
+from repro.units import PAGE_SIZE
+from repro.workloads.npb import make_npb
+from repro.workloads.trace import TraceCollector
+
+
+class TestTraceCollector:
+    def test_records_batches(self):
+        tc = TraceCollector()
+        tc.record(0, 10, np.array([100, 200]), np.array([True, False]))
+        assert tc.total_accesses == 2
+        assert len(list(tc.replay())) == 1
+
+    def test_records_are_copies(self):
+        tc = TraceCollector()
+        arr = np.array([100])
+        tc.record(0, 0, arr, np.array([False]))
+        arr[0] = 999
+        assert tc.records[0].vaddrs[0] == 100
+
+    def test_max_records_cap(self):
+        tc = TraceCollector(max_records=1)
+        tc.record(0, 0, np.array([1]), np.array([False]))
+        tc.record(0, 0, np.array([2]), np.array([False]))
+        assert len(tc.records) == 1
+
+    def test_page_access_counts(self):
+        tc = TraceCollector()
+        tc.record(0, 0, np.array([0, 64, PAGE_SIZE]), np.zeros(3, bool))
+        tc.record(1, 0, np.array([128]), np.zeros(1, bool))
+        counts = tc.page_access_counts(2)
+        assert counts[0].tolist() == [2, 1]
+        assert counts[1].tolist() == [1, 0]
+
+    def test_clear(self):
+        tc = TraceCollector()
+        tc.record(0, 0, np.array([1]), np.array([False]))
+        tc.clear()
+        assert tc.total_accesses == 0
+
+
+class TestMatrixFromTrace:
+    def test_shared_page_counts_min(self):
+        tc = TraceCollector()
+        tc.record(0, 0, np.full(5, 0), np.zeros(5, bool))
+        tc.record(1, 0, np.full(3, 0), np.zeros(3, bool))
+        m = matrix_from_trace(tc, 2)
+        assert m.matrix[0, 1] == 3  # min(5, 3)
+
+    def test_private_pages_ignored(self):
+        tc = TraceCollector()
+        tc.record(0, 0, np.array([0]), np.zeros(1, bool))
+        tc.record(1, 0, np.array([PAGE_SIZE]), np.zeros(1, bool))
+        assert matrix_from_trace(tc, 2).total() == 0
+
+    def test_trace_matrix_matches_workload_pattern(self, rng):
+        wl = make_npb("SP")
+        space = AddressSpace(1 << 17)
+        wl.setup(space)
+        tc = TraceCollector()
+        for t in range(wl.n_threads):
+            batch = wl.generate(t, 3000, 0, rng)
+            tc.record(t, 0, batch.vaddrs, batch.is_write)
+        detected = matrix_from_trace(tc, wl.n_threads)
+        gt = wl.ground_truth()
+        assert detected.correlation(gt) > 0.7
+
+
+class TestOracleMapping:
+    def test_uses_ground_truth_by_default(self, machine):
+        wl = make_npb("SP")
+        mapping = oracle_mapping(wl, machine)
+        gt = wl.ground_truth()
+        # chain neighbours end up adjacent in the hierarchy
+        for i in range(0, 31, 2):
+            d = machine.distance(int(mapping[i]), int(mapping[i + 1]))
+            assert d in (CommDistance.SAME_CORE, CommDistance.SAME_SOCKET)
+
+    def test_oracle_beats_identity(self, machine):
+        wl = make_npb("SP")
+        gt = matrix_from_ground_truth(wl)
+        mapping = oracle_mapping(wl, machine)
+        identity = np.arange(32)
+        assert mapping_comm_cost(gt.matrix, mapping, machine) <= mapping_comm_cost(
+            gt.matrix, identity, machine
+        )
+
+    def test_oracle_with_trace(self, machine, rng):
+        wl = make_npb("SP")
+        space = AddressSpace(1 << 17)
+        wl.setup(space)
+        tc = TraceCollector()
+        for t in range(wl.n_threads):
+            batch = wl.generate(t, 2000, 0, rng)
+            tc.record(t, 0, batch.vaddrs, batch.is_write)
+        mapping = oracle_mapping(wl, machine, trace=tc)
+        assert len(set(mapping.tolist())) == 32

@@ -1,0 +1,72 @@
+"""Tests for size/time unit helpers."""
+
+import pytest
+
+from repro import units
+from repro.units import (
+    align_down,
+    align_up,
+    format_size,
+    format_time_ns,
+    is_power_of_two,
+    log2_int,
+)
+
+
+class TestConstants:
+    def test_page_size_matches_shift(self):
+        assert 1 << units.PAGE_SHIFT == units.PAGE_SIZE
+
+    def test_cache_line_matches_shift(self):
+        assert 1 << units.CACHE_LINE_SHIFT == units.CACHE_LINE_SIZE
+
+    def test_time_units_are_nanoseconds(self):
+        assert units.SEC == 1_000 * units.MSEC == 1_000_000 * units.USEC
+
+
+class TestAlignment:
+    def test_align_down_to_page(self):
+        assert align_down(4097, 4096) == 4096
+
+    def test_align_down_already_aligned(self):
+        assert align_down(8192, 4096) == 8192
+
+    def test_align_up_to_page(self):
+        assert align_up(4097, 4096) == 8192
+
+    def test_align_up_identity_on_aligned(self):
+        assert align_up(4096, 4096) == 4096
+
+    def test_align_up_zero(self):
+        assert align_up(0, 64) == 0
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 1024, 1 << 40])
+    def test_accepts_powers(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 1000])
+    def test_rejects_non_powers(self, value):
+        assert not is_power_of_two(value)
+
+    def test_log2_int_exact(self):
+        assert log2_int(4096) == 12
+
+    def test_log2_int_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            log2_int(100)
+
+
+class TestFormatting:
+    def test_format_size_mib(self):
+        assert format_size(20 * units.MIB) == "20.0 MiB"
+
+    def test_format_size_bytes(self):
+        assert format_size(123) == "123 B"
+
+    def test_format_time_ms(self):
+        assert format_time_ns(12_300_000) == "12.300 ms"
+
+    def test_format_time_s(self):
+        assert format_time_ns(2_500_000_000) == "2.500 s"

@@ -1,0 +1,197 @@
+"""Tests for the NPB and producer/consumer workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.mem.addresspace import AddressSpace
+from repro.units import MSEC, PAGE_SIZE
+from repro.workloads.npb import NPB_SPECS, SyntheticNpbWorkload, make_npb
+from repro.workloads.producer_consumer import ProducerConsumerWorkload
+
+
+def prepared(workload, capacity=1 << 17):
+    space = AddressSpace(capacity)
+    workload.setup(space)
+    return space
+
+
+class TestNpbCatalogue:
+    def test_all_ten_benchmarks_present(self):
+        assert sorted(NPB_SPECS) == [
+            "BT", "CG", "DC", "EP", "FT", "IS", "LU", "MG", "SP", "UA",
+        ]
+
+    def test_classification_matches_paper(self):
+        hetero = {"BT", "CG", "DC", "LU", "MG", "SP", "UA"}
+        for name, spec in NPB_SPECS.items():
+            expected = "heterogeneous" if name in hetero else "homogeneous"
+            assert spec.classification == expected, name
+
+    def test_make_npb_case_insensitive(self):
+        assert make_npb("sp").name == "SP"
+
+    def test_make_npb_unknown(self):
+        with pytest.raises(WorkloadError):
+            make_npb("ZZ")
+
+    def test_sp_communicates_most(self):
+        fractions = {n: s.shared_fraction for n, s in NPB_SPECS.items()}
+        assert max(fractions, key=fractions.get) == "SP"
+        assert min(fractions, key=fractions.get) == "EP"
+
+
+class TestNpbGeneration:
+    def test_generate_requires_setup(self, rng):
+        wl = make_npb("BT")
+        with pytest.raises(WorkloadError):
+            wl.generate(0, 10, 0, rng)
+
+    def test_batch_shape_and_range(self, rng):
+        wl = make_npb("BT")
+        space = prepared(wl)
+        batch = wl.generate(3, 500, 0, rng)
+        assert len(batch) == 500
+        assert batch.tid == 3
+        limit = space.span_pages * PAGE_SIZE
+        assert (batch.vaddrs >= 0).all() and (batch.vaddrs < limit).all()
+
+    def test_addresses_line_aligned(self, rng):
+        wl = make_npb("LU")
+        prepared(wl)
+        batch = wl.generate(0, 200, 0, rng)
+        assert (batch.vaddrs % 64 == 0).all()
+
+    def test_addresses_land_in_own_regions(self, rng):
+        wl = make_npb("SP")
+        space = prepared(wl)
+        batch = wl.generate(5, 2000, 0, rng)
+        allowed_prefixes = ("SP.hot5", "SP.priv5", "SP.stream5", "SP.pair")
+        for addr in batch.vaddrs[:: max(1, len(batch) // 100)]:
+            region = space.region_of(int(addr))
+            assert region is not None
+            assert region.name.startswith(allowed_prefixes)
+            if region.name.startswith("SP.pair"):
+                i, j = region.name[len("SP.pair"):].split("_")
+                assert 5 in (int(i), int(j))
+
+    def test_chain_partners_share_pair_regions(self, rng):
+        wl = make_npb("SP")
+        space = prepared(wl)
+        pages_5 = {
+            int(a) // PAGE_SIZE
+            for a in wl.generate(5, 4000, 0, rng).vaddrs
+        }
+        pages_6 = {
+            int(a) // PAGE_SIZE
+            for a in wl.generate(6, 4000, 0, rng).vaddrs
+        }
+        shared = pages_5 & pages_6
+        assert shared  # the (5,6) pair region is touched by both
+        for page in shared:
+            name = space.region_of(page * PAGE_SIZE).name
+            assert name.startswith("SP.pair")
+
+    def test_ep_threads_barely_share(self, rng):
+        wl = make_npb("EP")
+        prepared(wl)
+        a = {int(x) // PAGE_SIZE for x in wl.generate(0, 3000, 0, rng).vaddrs}
+        b = {int(x) // PAGE_SIZE for x in wl.generate(1, 3000, 0, rng).vaddrs}
+        assert len(a & b) <= 32  # at most the tiny global region
+
+    def test_uniform_benchmark_shares_global(self, rng):
+        wl = make_npb("FT")
+        space = prepared(wl)
+        batch = wl.generate(0, 4000, 0, rng)
+        regions = {space.region_of(int(a)).name for a in batch.vaddrs}
+        assert "FT.global" in regions
+
+    def test_streaming_is_sequential(self, rng):
+        wl = make_npb("DC")
+        space = prepared(wl)
+        stream = space.region("DC.stream0")
+        batch = wl.generate(0, 6000, 0, rng)
+        in_stream = batch.vaddrs[
+            (batch.vaddrs >= stream.base) & (batch.vaddrs < stream.end)
+        ]
+        assert len(in_stream) > 100
+        # consecutive stream addresses advance by one line (modulo wrap)
+        deltas = np.diff(in_stream)
+        wrapped = deltas != 64
+        assert wrapped.mean() < 0.05
+
+    def test_ground_truth_matches_spec_pattern(self):
+        for name in ("BT", "FT", "EP"):
+            wl = make_npb(name)
+            gt = wl.ground_truth()
+            assert gt.n == 32
+            if name == "EP":
+                assert gt.total() == 0
+            if name == "FT":
+                assert gt.heterogeneity() == 0  # uniform
+
+    def test_write_fraction_respected(self, rng):
+        wl = make_npb("BT")
+        prepared(wl)
+        batch = wl.generate(0, 5000, 0, rng)
+        assert abs(batch.is_write.mean() - wl.write_fraction) < 0.05
+
+
+class TestProducerConsumer:
+    def test_rejects_odd_threads(self):
+        with pytest.raises(WorkloadError):
+            ProducerConsumerWorkload(n_threads=5)
+
+    def test_phase_pairings(self):
+        wl = ProducerConsumerWorkload(n_threads=8)
+        assert wl.partner_of(0, 0) == 1 and wl.partner_of(1, 0) == 0
+        assert wl.partner_of(0, 1) == 4 and wl.partner_of(4, 1) == 0
+
+    def test_phase_at_alternates(self):
+        wl = ProducerConsumerWorkload(phase_period_ns=100)
+        assert wl.phase_at(0) == 0
+        assert wl.phase_at(100) == 1
+        assert wl.phase_at(250) == 0
+
+    def test_start_phase_offset(self):
+        wl = ProducerConsumerWorkload(phase_period_ns=100, start_phase=1)
+        assert wl.phase_at(0) == 1
+
+    def test_producer_is_lower_id(self):
+        wl = ProducerConsumerWorkload(n_threads=8)
+        assert wl.is_producer(0, 0) and not wl.is_producer(1, 0)
+
+    def test_accesses_follow_phase(self, rng):
+        wl = ProducerConsumerWorkload(n_threads=8, phase_period_ns=100 * MSEC)
+        space = prepared(wl)
+        vec_phase0 = space.region("pc.vec0_1")
+        vec_phase1 = space.region("pc.vec0_4")
+        batch0 = wl.generate(0, 4000, 0, rng)
+        batch1 = wl.generate(0, 4000, 100 * MSEC, rng)
+        in0 = ((batch0.vaddrs >= vec_phase0.base) & (batch0.vaddrs < vec_phase0.end)).mean()
+        in1 = ((batch1.vaddrs >= vec_phase1.base) & (batch1.vaddrs < vec_phase1.end)).mean()
+        assert in0 > 0.02 and in1 > 0.02
+        assert ((batch0.vaddrs >= vec_phase1.base) & (batch0.vaddrs < vec_phase1.end)).sum() == 0
+
+    def test_producers_write_consumers_read(self, rng):
+        wl = ProducerConsumerWorkload(n_threads=8)
+        space = prepared(wl)
+        vec = space.region("pc.vec0_1")
+        prod = wl.generate(0, 6000, 0, rng)
+        cons = wl.generate(1, 6000, 0, rng)
+        pmask = (prod.vaddrs >= vec.base) & (prod.vaddrs < vec.end)
+        cmask = (cons.vaddrs >= vec.base) & (cons.vaddrs < vec.end)
+        assert prod.is_write[pmask].mean() > 0.6
+        assert cons.is_write[cmask].mean() < 0.3
+
+    def test_ground_truth_per_phase(self):
+        wl = ProducerConsumerWorkload(n_threads=8, phase_period_ns=100)
+        gt0 = wl.ground_truth(0)
+        gt1 = wl.ground_truth(150)
+        assert gt0.matrix[0, 1] > 0 and gt0.matrix[0, 4] == 0
+        assert gt1.matrix[0, 4] > 0 and gt1.matrix[0, 1] == 0
+
+    def test_overall_ground_truth_blends(self):
+        wl = ProducerConsumerWorkload(n_threads=8)
+        gt = wl.ground_truth()
+        assert gt.matrix[0, 1] > 0 and gt.matrix[0, 4] > 0
