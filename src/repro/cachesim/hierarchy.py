@@ -28,12 +28,42 @@ Invariants (checked by :meth:`CoherentHierarchy.check_invariants`):
 
 from __future__ import annotations
 
-from repro.cachesim.cache import SetAssocCache
+import os
+
+import numpy as np
+
+from repro.cachesim.cache import LegacySetAssocCache, SetAssocCache
 from repro.cachesim.line import iter_set_bits
 from repro.cachesim.stats import CacheStats
 from repro.machine.topology import Machine
 
 NO_OWNER = -1
+
+#: maximum number of runs classified per residency probe in the fast path;
+#: bounds the cost of the journal-staleness scans inside one window.
+PROBE_WINDOW = 2048
+
+#: hit spans shorter than this are drained through the scalar reference
+#: path — below this length the vectorised bookkeeping costs more than the
+#: per-access loop it replaces.
+SMALL_SPAN = 16
+
+#: adaptive bypass: when less than BYPASS_NUM/BYPASS_DEN of a batch's
+#: accesses were bulk-counted (miss-heavy phase — streaming or a working
+#: set far beyond L1), the core's L1 is swapped to the dict backing (best
+#: under scalar traffic) and the next BYPASS_BATCHES batches skip the
+#: probe machinery entirely and run the reference loop; the batch after
+#: that swaps back and re-measures, so phase changes are picked up again.
+BYPASS_NUM = 3
+BYPASS_DEN = 8
+BYPASS_BATCHES = 63
+#: batches smaller than this never update the bypass decision
+BYPASS_MIN_BATCH = 64
+
+
+def _slow_hierarchy_requested() -> bool:
+    """True when ``REPRO_SLOW_HIERARCHY`` selects the reference engine."""
+    return os.environ.get("REPRO_SLOW_HIERARCHY", "").strip() in ("1", "true", "yes")
 
 
 def _aslist(values) -> list:
@@ -49,12 +79,22 @@ class CoherentHierarchy:
     on); internally coherence operates on the owning core.
     """
 
-    def __init__(self, machine: Machine) -> None:
+    def __init__(self, machine: Machine, fast_path: bool | None = None) -> None:
         self.machine = machine
+        if fast_path is None:
+            fast_path = not _slow_hierarchy_requested()
+        #: whether the vectorised batch path (and array-backed caches) are used
+        self.fast_path = fast_path
+        # Only L1s are ever batch-probed, so only they pay for the array
+        # backing; L2/L3 see pure scalar traffic, where the dict-backed
+        # implementation is fastest.
+        l1_cls = SetAssocCache if fast_path else LegacySetAssocCache
         n_cores = machine.n_cores
-        self.l1 = [SetAssocCache(machine.l1_params, f"L1.c{c}") for c in range(n_cores)]
-        self.l2 = [SetAssocCache(machine.l2_params, f"L2.c{c}") for c in range(n_cores)]
-        self.l3 = [SetAssocCache(machine.l3_params, f"L3.s{s}") for s in range(machine.n_sockets)]
+        self.l1 = [l1_cls(machine.l1_params, f"L1.c{c}") for c in range(n_cores)]
+        self.l2 = [LegacySetAssocCache(machine.l2_params, f"L2.c{c}") for c in range(n_cores)]
+        self.l3 = [
+            LegacySetAssocCache(machine.l3_params, f"L3.s{s}") for s in range(machine.n_sockets)
+        ]
         #: line -> bitmask of cores holding it in L1 or L2
         self._sharers: dict[int, int] = {}
         #: line -> core owning it dirty (MESI M); absent if clean everywhere
@@ -67,11 +107,48 @@ class CoherentHierarchy:
         self._socket_mask = [0] * machine.n_sockets
         for c in range(n_cores):
             self._socket_mask[self._socket_of_core[c]] |= 1 << c
+        #: per-core countdown of batches running bypassed (reference loop)
+        self._bypass = [0] * n_cores
+        #: accesses bulk-counted by :meth:`_bulk_hits` (bypass heuristic)
+        self._bulk_acc = 0
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
     # internal helpers (all in core ids)
     # ------------------------------------------------------------------
+    def _l1_to_scalar(self, core: int) -> None:
+        """Swap a core's L1 to the dict backing (entering bypass).
+
+        LRU order (per set, ascending age), dirty flags and counters are
+        carried over exactly; ways are unobservable, so their layout is
+        free to differ after a round-trip.
+        """
+        src = self.l1[core]
+        dst = LegacySetAssocCache(self.machine.l1_params, src.name)
+        order = np.argsort(src._age, axis=1)
+        tags = src._tags
+        dirty = src._dirty
+        for s in range(src.num_sets):
+            row_tags = tags[s]
+            row_dirty = dirty[s]
+            dst_set = dst._sets[s]
+            for w in order[s].tolist():
+                t = int(row_tags[w])
+                if t != -1:
+                    dst_set[t] = bool(row_dirty[w])
+        dst.hits, dst.misses, dst.evictions = src.hits, src.misses, src.evictions
+        self.l1[core] = dst
+
+    def _l1_to_array(self, core: int) -> None:
+        """Swap a core's L1 back to the array backing (leaving bypass)."""
+        src = self.l1[core]
+        dst = SetAssocCache(self.machine.l1_params, src.name)
+        for od in src._sets:
+            for line, d in od.items():
+                dst.insert(line, d)
+        dst.hits, dst.misses, dst.evictions = src.hits, src.misses, src.evictions
+        self.l1[core] = dst
+
     def _evict_from_l2(self, core: int, line: int) -> None:
         """Handle an L2 victim: drop from L1, update directory, write back."""
         self.l1[core].remove(line)
@@ -139,15 +216,235 @@ class CoherentHierarchy:
             access(pu, line, w, h)
 
     def access_batch_pu(self, pu: int, lines, writes, home_nodes) -> None:
-        """Batch variant for one PU (the engine's per-thread hot path)."""
+        """Batch variant for one PU (the engine's per-thread hot path).
+
+        With :attr:`fast_path` the batch is pre-classified with NumPy:
+        consecutive same-line accesses are run-length deduplicated, run
+        heads are bulk-probed for L1 residency, and every L1-hit access is
+        bulk-counted; only L1 misses (and hit-writes that need a coherence
+        upgrade) fall into the per-access MESI slow path.  The produced
+        :class:`CacheStats` and cache/directory state are bit-identical to
+        the per-access reference loop (``REPRO_SLOW_HIERARCHY=1``).
+        """
         core = self._core_of_pu[pu]
+        if not self.fast_path or self._bypass[core]:
+            if self.fast_path:
+                self._bypass[core] -= 1
+            read = self._read
+            write = self._write
+            for line, w, h in zip(_aslist(lines), _aslist(writes), _aslist(home_nodes)):
+                if w:
+                    write(core, line, h)
+                else:
+                    read(core, line, h)
+            return
+        if type(self.l1[core]) is LegacySetAssocCache:
+            # Bypass just expired: restore the array backing for probing.
+            self._l1_to_array(core)
+        lines = np.asarray(lines, dtype=np.int64)
+        n = lines.size
+        if not n:
+            return
+        writes = np.asarray(writes, dtype=bool)
+        homes = np.asarray(home_nodes, dtype=np.int64)
+        # Plain-list views for the scalar drains (indexing numpy scalars in
+        # a Python loop costs ~3x a list element).
+        lines_l = lines.tolist()
+        writes_l = writes.tolist()
+        homes_l = homes.tolist()
+
+        # Run-length dedup of consecutive same-line accesses: after a run's
+        # head access the line is resident and MRU, so the tail is L1 hits
+        # by construction (plus at most one ownership upgrade on the first
+        # write of the run).
+        change = np.empty(n, dtype=bool)
+        change[0] = True
+        np.not_equal(lines[1:], lines[:-1], out=change[1:])
+        starts = np.flatnonzero(change)
+        ends = np.append(starts[1:], n)
+        first_lines = lines[starts]
+        wcum = np.concatenate(([0], np.cumsum(writes)))
+        run_writes = wcum[ends] - wcum[starts]
+
+        l1 = self.l1[core]
+        journal = l1.journal
+        if journal is None:
+            journal = l1.journal = set()
+        bulk_before = self._bulk_acc
+        n_runs = starts.size
+        i = 0
+        while i < n_runs:
+            limit = min(n_runs, i + PROBE_WINDOW)
+            # One probe per window: residency (hit classification), way
+            # locations (LRU refresh) and the L1 dirty bits, which the fast
+            # engine maintains as a vectorised "this core owns the line in
+            # M" mirror of the directory (L1/L2 dirty flags are otherwise
+            # unobservable — only L3 victim dirtiness reaches the stats).
+            # Slow-path installs/evictions later in the window make some of
+            # these classifications stale; rather than re-probing, the L1
+            # journals every line whose residency or way changes and stale
+            # heads are filtered out span by span.
+            journal.clear()
+            w = limit - i
+            resident, sets, ways, owned = l1.probe_batch(first_lines[i:limit])
+            miss_rel = np.flatnonzero(~resident)
+            # Hit gaps are the stretches between probe-time misses; only
+            # gaps long enough for the vector bookkeeping to pay off are
+            # processed in bulk.  Everything else — the miss runs plus any
+            # sub-threshold hit gaps between them — is merged into
+            # contiguous stretches drained through the reference loop in
+            # one call each, so a miss-heavy window costs roughly the
+            # reference loop, not a Python iteration per miss.
+            gap_start = np.concatenate(([0], miss_rel + 1))
+            gap_end = np.append(miss_rel, w)
+            big = np.flatnonzero(gap_end - gap_start >= SMALL_SPAN)
+            cursor = 0
+            for g in big.tolist():
+                ga = int(gap_start[g])
+                gb = int(gap_end[g])
+                if ga > cursor:
+                    self._slow_run(
+                        core, lines_l, writes_l, homes_l,
+                        int(starts[i + cursor]), int(ends[i + ga - 1]),
+                    )
+                self._hit_span(
+                    core, l1, journal, lines_l, writes_l, homes_l,
+                    first_lines, starts, ends, run_writes,
+                    sets, ways, owned, i, ga, gb,
+                )
+                cursor = gb
+            if cursor < w:
+                self._slow_run(
+                    core, lines_l, writes_l, homes_l,
+                    int(starts[i + cursor]), int(ends[i + w - 1]),
+                )
+            i = limit
+        if n >= BYPASS_MIN_BATCH and (self._bulk_acc - bulk_before) * BYPASS_DEN < n * BYPASS_NUM:
+            self._bypass[core] = BYPASS_BATCHES
+            self._l1_to_scalar(core)
+
+    def _hit_span(
+        self,
+        core: int,
+        l1,
+        journal: set[int],
+        lines: list,
+        writes: list,
+        homes: list,
+        first_lines: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        run_writes: np.ndarray,
+        sets: np.ndarray,
+        ways: np.ndarray,
+        owned: np.ndarray,
+        base: int,
+        a: int,
+        b: int,
+    ) -> None:
+        """Process runs ``base+a .. base+b-1`` whose heads probed L1-resident.
+
+        Probe classifications go stale when slow-path traffic earlier in the
+        window touched a head's line (eviction, or eviction + reinstall in a
+        different way); those lines are exactly the L1's journal entries, so
+        journal-touched heads are re-run through the reference path and only
+        verified-fresh stretches are bulk-counted.  Indices *a*/*b* are
+        window-relative; *base* is the window's first run index.
+        """
+        while a < b:
+            if b - a < SMALL_SPAN:
+                # Too short for the vector bookkeeping to pay off: drain
+                # through the reference loop (exact by construction).
+                self._slow_run(core, lines, writes, homes, int(starts[base + a]), int(ends[base + b - 1]))
+                return
+            c = b
+            if journal:
+                stale = np.flatnonzero(
+                    np.isin(
+                        first_lines[base + a : base + b],
+                        np.fromiter(journal, dtype=np.int64, count=len(journal)),
+                    )
+                )
+                if stale.size:
+                    c = a + int(stale[0])
+            if c > a:
+                self._bulk_hits(
+                    core, l1, first_lines, starts, ends, run_writes,
+                    sets, ways, owned, base, a, c,
+                )
+            if c == b:
+                return
+            # Stale head: its line was evicted (and possibly reinstalled in
+            # another way) since the probe — the reference path re-resolves
+            # it, and may grow the journal, hence the re-scan next round.
+            self._slow_run(core, lines, writes, homes, int(starts[base + c]), int(ends[base + c]))
+            a = c + 1
+
+    def _bulk_hits(
+        self,
+        core: int,
+        l1,
+        first_lines: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        run_writes: np.ndarray,
+        sets: np.ndarray,
+        ways: np.ndarray,
+        owned: np.ndarray,
+        base: int,
+        a: int,
+        c: int,
+    ) -> None:
+        """Account runs ``base+a .. base+c-1`` — all L1 hits throughout.
+
+        Hits never change residency, so the whole stretch is LRU-refreshed
+        up-front (one tick per run head, in run order — tail accesses of a
+        run keep it MRU, adding no reordering) and bulk-counted.  The only
+        per-access work left is the coherence upgrade on the first write of
+        a run whose line this core does not own; ``_acquire_ownership``
+        touches the directory and remote caches only, never this L1, so the
+        classification and the probed ways stay valid for the whole stretch.
+        """
+        stats = self.stats
+        l1.refresh_ways(sets[a:c], ways[a:c])
+        total = int(ends[base + c - 1] - starts[base + a])
+        upgrades = 0
+        pending = np.flatnonzero((run_writes[base + a : base + c] > 0) & ~owned[a:c])
+        if pending.size:
+            dget = self._dirty_owner.get
+            for j in pending.tolist():
+                line = int(first_lines[base + a + j])
+                # Re-check: an earlier upgrade in this window may have
+                # acquired the line already (probe bits are stale).
+                if dget(line, NO_OWNER) != core:
+                    # L1-hit write needing M: counts as a hit (the
+                    # reference path's lookup), then upgrades; LRU was
+                    # refreshed above.
+                    stats.l1_hits += 1
+                    l1.hits += 1
+                    self._acquire_ownership(core, line)
+                    upgrades += 1
+        stats.l1_hits += total - upgrades
+        l1.hits += total - upgrades
+        self._bulk_acc += total
+
+    def _slow_run(
+        self,
+        core: int,
+        lines: list,
+        writes: list,
+        homes: list,
+        start: int,
+        end: int,
+    ) -> None:
+        """Reference per-access MESI path for accesses ``start .. end-1``."""
         read = self._read
         write = self._write
-        for line, w, h in zip(_aslist(lines), _aslist(writes), _aslist(home_nodes)):
-            if w:
-                write(core, line, h)
+        for k in range(start, end):
+            if writes[k]:
+                write(core, lines[k], homes[k])
             else:
-                read(core, line, h)
+                read(core, lines[k], homes[k])
 
     # ------------------------------------------------------------------
     # protocol (core ids)
@@ -160,7 +457,9 @@ class CoherentHierarchy:
         stats.l1_misses += 1
         if self.l2[core].lookup(line):
             stats.l2_hits += 1
-            self.l1[core].insert(line)
+            # The install carries the fast path's ownership mirror: the L1
+            # dirty bit means "this core owns the line in M".
+            self.l1[core].insert(line, self._dirty_owner.get(line, NO_OWNER) == core)
             return
         stats.l2_misses += 1
 
@@ -173,6 +472,7 @@ class CoherentHierarchy:
                 # the owner is on this socket if our L3 holds the line).
                 stats.c2c_intra += 1
                 del self._dirty_owner[line]
+                self.l1[owner].clear_dirty(line)
                 self.l3[socket].mark_dirty(line)
         else:
             stats.l3_misses += 1
@@ -180,6 +480,7 @@ class CoherentHierarchy:
                 # Dirty on the other socket: off-chip cache-to-cache.
                 stats.c2c_inter += 1
                 del self._dirty_owner[line]
+                self.l1[owner].clear_dirty(line)
                 owner_socket = self._socket_of_core[owner]
                 self.l3[owner_socket].mark_dirty(line)
                 self._install_l3(socket, line)
@@ -216,6 +517,8 @@ class CoherentHierarchy:
             self.l1[core].insert(line)
             if owner != core:
                 self._acquire_ownership(core, line)
+            else:
+                self.l1[core].mark_dirty(line)
             return
         stats.l2_misses += 1
 
@@ -247,6 +550,7 @@ class CoherentHierarchy:
                 self._install_l3(socket, line)
         self._invalidate_other_copies(core, line)
         self._install_private(core, line)
+        self.l1[core].mark_dirty(line)
         self._sharers[line] = 1 << core
         self._dirty_owner[line] = core
         self.l3[socket].mark_dirty(line)
@@ -263,6 +567,7 @@ class CoherentHierarchy:
             stats.silent_upgrades += 1
         else:
             self._invalidate_other_copies(core, line)
+        self.l1[core].mark_dirty(line)
         self._sharers[line] = 1 << core
         self._dirty_owner[line] = core
         self.l3[self._socket_of_core[core]].mark_dirty(line)

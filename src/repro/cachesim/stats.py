@@ -35,6 +35,34 @@ class CacheStats:
     #: lines back-invalidated from private caches by inclusive-L3 evictions
     back_invalidations: int = 0
 
+    def snapshot(self) -> tuple[int, ...]:
+        """Cheap value snapshot (field order of the dataclass).
+
+        With :meth:`delta_since` this replaces ``dataclasses.replace`` +
+        field-wise diffing on the simulator's per-thread per-step hot path.
+        """
+        return (
+            self.l1_hits,
+            self.l1_misses,
+            self.l2_hits,
+            self.l2_misses,
+            self.l3_hits,
+            self.l3_misses,
+            self.c2c_intra,
+            self.c2c_inter,
+            self.invalidations,
+            self.silent_upgrades,
+            self.dram_reads_local,
+            self.dram_reads_remote,
+            self.dram_writebacks,
+            self.back_invalidations,
+        )
+
+    def delta_since(self, snap: tuple[int, ...]) -> "CacheStats":
+        """Counters accrued since *snap* (a :meth:`snapshot` value)."""
+        cur = self.snapshot()
+        return CacheStats(*(a - b for a, b in zip(cur, snap)))
+
     def merged(self, other: "CacheStats") -> "CacheStats":
         """Field-wise sum of two stats objects."""
         out = CacheStats()

@@ -7,6 +7,10 @@ of everything here is at most Theta(N^2) as the paper requires.
 
 from __future__ import annotations
 
+import os
+import tempfile
+from pathlib import Path
+
 import numpy as np
 
 from repro.errors import ConfigurationError
@@ -124,14 +128,31 @@ class CommunicationMatrix:
         return float(vals.std() / mean)
 
     # -- serialisation ---------------------------------------------------------
-    def to_csv(self, path: str) -> None:
-        """Write the matrix as CSV."""
-        np.savetxt(path, self._m, delimiter=",", fmt="%.6g")
+    def to_csv(self, path: "str | os.PathLike") -> None:
+        """Write the matrix as CSV, atomically.
+
+        The data goes to a temp file next to *path* and is moved into place
+        with :func:`os.replace`, so a concurrent reader (or a crash mid-write)
+        never observes a truncated matrix.
+        """
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                np.savetxt(f, self._m, delimiter=",", fmt="%.6g")
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     @classmethod
-    def from_csv(cls, path: str) -> "CommunicationMatrix":
+    def from_csv(cls, path: "str | os.PathLike") -> "CommunicationMatrix":
         """Read a matrix previously written by :meth:`to_csv`."""
-        data = np.loadtxt(path, delimiter=",")
+        data = np.loadtxt(Path(path), delimiter=",")
         if data.ndim != 2 or data.shape[0] != data.shape[1]:
             raise ConfigurationError("CSV does not contain a square matrix")
         return cls(data.shape[0], data)

@@ -1,0 +1,400 @@
+"""Parallel, disk-cached experiment grids.
+
+The paper's figures are projections of one expensive grid: every NPB
+benchmark under every mapping policy, replicated with derived seeds
+(Sec. V-A).  :func:`run_grid` executes such a grid as independent
+``(workload, policy, rep)`` cells, fanning cell simulations over a process
+pool (``REPRO_GRID_WORKERS``) and memoizing each cell's
+:class:`~repro.engine.simulator.SimulationResult` in a content-addressed
+on-disk cache (``REPRO_RESULT_CACHE``).
+
+Determinism: a cell's seed is ``derive_seed(base_seed, "rep", rep,
+policy)`` — exactly what the serial :func:`repro.engine.runner.run_replicated`
+protocol uses — and each cell simulation is fully determined by its seed,
+so grid results are byte-identical no matter how cells are scheduled
+across processes, and identical to the serial path.
+
+Caching: the cell key is a BLAKE2 hash of everything a result depends on —
+the workload spec, policy, derived seed, machine description, engine and
+SPCD configurations, and a digest of the ``src/repro`` source tree — so
+results survive across processes and sessions, unrelated edits (tests,
+benchmarks, docs) keep cache hits, and any engine change invalidates
+cleanly.  Cache files are written through a temp file + atomic rename, so
+concurrent grids can share a cache directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from functools import partial
+from multiprocessing import get_all_start_methods, get_context
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.core.manager import SpcdConfig
+from repro.engine.policies import Policy
+from repro.engine.runner import (
+    REPORT_METRICS,
+    ReplicatedResult,
+    WorkloadFactory,
+    summarize,
+)
+from repro.engine.simulator import EngineConfig, SimulationResult, Simulator
+from repro.errors import ConfigurationError
+from repro.machine.topology import Machine, dual_xeon_e5_2650
+from repro.rng import derive_seed
+from repro.workloads.npb import make_npb
+
+__all__ = [
+    "GridResult",
+    "ResultCache",
+    "code_version",
+    "default_workers",
+    "run_cell",
+    "run_grid",
+]
+
+#: a workload in a grid: an NPB benchmark name, a zero-arg factory, or an
+#: explicit ``(name, factory)`` pair
+WorkloadSpec = "str | WorkloadFactory | tuple[str, WorkloadFactory]"
+
+_CODE_VERSION: str | None = None
+
+
+def code_version() -> str:
+    """Digest of the ``src/repro`` python sources (cache-key component).
+
+    Any change to the engine invalidates cached results; edits outside the
+    package (tests, benchmarks, docs) do not.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        h = hashlib.blake2b(digest_size=16)
+        root = Path(__file__).resolve().parents[1]
+        for p in sorted(root.rglob("*.py")):
+            h.update(str(p.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(p.read_bytes())
+            h.update(b"\0")
+        _CODE_VERSION = h.hexdigest()
+    return _CODE_VERSION
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def default_workers() -> int:
+    """Pool size from ``REPRO_GRID_WORKERS`` (0/1 = serial, in-process).
+
+    Capped at the CPUs actually available to this process: oversubscribing
+    a grid of CPU-bound simulations only adds scheduling overhead, so on a
+    constrained machine the env default degrades to serial rather than
+    running slower than it.  An explicit ``workers=`` argument to
+    :func:`run_grid` is honored verbatim.
+    """
+    raw = os.environ.get("REPRO_GRID_WORKERS", "").strip()
+    if not raw:
+        return 1
+    try:
+        requested = max(1, int(raw))
+    except ValueError as exc:
+        raise ConfigurationError(f"bad REPRO_GRID_WORKERS value {raw!r}") from exc
+    return min(requested, _available_cpus())
+
+
+def _resolve_spec(spec: "WorkloadSpec") -> tuple[str, WorkloadFactory]:
+    """Normalise a workload spec to ``(name, factory)``."""
+    if isinstance(spec, str):
+        return spec, partial(make_npb, spec)
+    if isinstance(spec, tuple):
+        name, factory = spec
+        return str(name), factory
+    if callable(spec):
+        name = getattr(spec, "__name__", None)
+        if name is None and isinstance(spec, partial):
+            name = getattr(spec.func, "__name__", "workload")
+            if spec.args:
+                name = f"{name}:{','.join(map(str, spec.args))}"
+        return name or "workload", spec
+    raise ConfigurationError(f"cannot interpret workload spec {spec!r}")
+
+
+def _factory_token(factory: WorkloadFactory) -> tuple:
+    """A stable, content-addressable identity for a workload factory.
+
+    Built from import path + arguments, never ``repr`` (which leaks memory
+    addresses).  Named functions and :func:`functools.partial` over named
+    functions yield stable tokens; anything else falls back to the import
+    path alone.
+    """
+    if isinstance(factory, partial):
+        return (
+            "partial",
+            _factory_token(factory.func),
+            tuple(factory.args),
+            tuple(sorted(factory.keywords.items())),
+        )
+    module = getattr(factory, "__module__", "?")
+    qualname = getattr(factory, "__qualname__", getattr(factory, "__name__", "?"))
+    return ("fn", module, qualname)
+
+
+@dataclass(frozen=True)
+class _Cell:
+    """One grid cell: a fully specified single simulation."""
+
+    workload: str
+    policy: str
+    rep: int
+    seed: int
+    key: str  # content-addressed cache key
+
+
+class ResultCache:
+    """Content-addressed pickle store for :class:`SimulationResult`.
+
+    Layout: ``<root>/<key[:2]>/<key>.pkl``.  Writes go through a temp file
+    in the target directory followed by :func:`os.replace`, so readers
+    never observe partial files and concurrent writers are safe.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        """On-disk location for *key*."""
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def load(self, key: str) -> SimulationResult | None:
+        """Cached result for *key*, or ``None`` (missing or unreadable)."""
+        try:
+            with open(self.path(key), "rb") as f:
+                return pickle.load(f)
+        except (OSError, EOFError, pickle.PickleError, AttributeError, ImportError):
+            return None
+
+    def store(self, key: str, result: SimulationResult) -> None:
+        """Atomically persist *result* under *key*."""
+        target = self.path(key)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(result, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+def _resolve_cache(cache_dir: str | os.PathLike | None) -> ResultCache | None:
+    """Cache from explicit dir, else ``REPRO_RESULT_CACHE``, else disabled."""
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_RESULT_CACHE", "").strip() or None
+    return ResultCache(cache_dir) if cache_dir is not None else None
+
+
+def _cell_key(
+    wl_token: tuple,
+    policy: str,
+    seed: int,
+    machine: Machine,
+    config: EngineConfig,
+    spcd_config: SpcdConfig,
+) -> str:
+    blob = repr((wl_token, policy, seed, repr(machine), repr(config), repr(spcd_config)))
+    h = hashlib.blake2b(digest_size=20)
+    h.update(code_version().encode())
+    h.update(blob.encode())
+    return h.hexdigest()
+
+
+def _run_cell_job(payload: tuple) -> SimulationResult:
+    """Pool worker: run one cell simulation (module-level for pickling)."""
+    factory, policy, seed, machine, config, spcd_config = payload
+    sim = Simulator(
+        factory(),
+        policy,
+        machine=machine,
+        seed=seed,
+        config=config,
+        spcd_config=spcd_config,
+    )
+    return sim.run()
+
+
+def run_cell(
+    workload: "WorkloadSpec",
+    policy: Policy | str,
+    rep: int = 0,
+    *,
+    base_seed: int = 42,
+    machine: Machine | None = None,
+    config: EngineConfig | None = None,
+    spcd_config: SpcdConfig | None = None,
+    cache: ResultCache | None = None,
+    cache_dir: str | os.PathLike | None = None,
+) -> tuple[SimulationResult, bool]:
+    """One grid cell, through the cache; returns ``(result, was_cached)``."""
+    policy = Policy.parse(policy)
+    name, factory = _resolve_spec(workload)
+    machine = machine or dual_xeon_e5_2650()
+    config = config or EngineConfig()
+    spcd_config = spcd_config or SpcdConfig()
+    seed = derive_seed(base_seed, "rep", rep, policy.value)
+    if cache is None:
+        cache = _resolve_cache(cache_dir)
+    key = ""
+    if cache is not None:
+        key = _cell_key(_factory_token(factory), policy.value, seed, machine, config, spcd_config)
+        hit = cache.load(key)
+        if hit is not None:
+            return hit, True
+    result = _run_cell_job((factory, policy, seed, machine, config, spcd_config))
+    if cache is not None:
+        cache.store(key, result)
+    return result, False
+
+
+@dataclass
+class GridResult:
+    """All cells of one grid run."""
+
+    #: ``(workload name, policy) -> ReplicatedResult``
+    cells: dict[tuple[str, str], ReplicatedResult] = field(default_factory=dict)
+    #: cells served from the on-disk cache
+    cache_hits: int = 0
+    #: cells actually simulated
+    cache_misses: int = 0
+
+    def cell(self, workload: str, policy: str) -> ReplicatedResult:
+        """The replicated summary of one ``(workload, policy)`` cell."""
+        return self.cells[(workload, str(Policy.parse(policy).value))]
+
+    def by_workload(self, workload: str) -> dict[str, ReplicatedResult]:
+        """``{policy: ReplicatedResult}`` for one workload (for
+        :func:`repro.engine.runner.normalized_to`)."""
+        return {p: r for (w, p), r in self.cells.items() if w == workload}
+
+    @property
+    def workloads(self) -> list[str]:
+        """Workload names present, in insertion order."""
+        seen: dict[str, None] = {}
+        for w, _ in self.cells:
+            seen.setdefault(w)
+        return list(seen)
+
+
+def run_grid(
+    workloads: Sequence["WorkloadSpec"],
+    policies: Sequence[Policy | str] = ("os", "random", "oracle", "spcd"),
+    reps: int = 3,
+    *,
+    base_seed: int = 42,
+    machine: Machine | None = None,
+    config: EngineConfig | None = None,
+    spcd_config: SpcdConfig | None = None,
+    workers: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+    keep_runs: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> GridResult:
+    """Run a ``workloads x policies x reps`` grid of simulations.
+
+    Cells already in the result cache are loaded in the parent; the
+    remaining cells are simulated on a process pool of *workers* (default:
+    ``REPRO_GRID_WORKERS``, serial when unset).  Results are byte-identical
+    to running every cell serially with
+    :func:`repro.engine.runner.run_replicated` under the same *base_seed*.
+    """
+    if reps <= 0:
+        raise ConfigurationError("reps must be positive")
+    if not workloads or not policies:
+        raise ConfigurationError("run_grid needs at least one workload and one policy")
+    machine = machine or dual_xeon_e5_2650()
+    config = config or EngineConfig()
+    spcd_config = spcd_config or SpcdConfig()
+    if workers is None:
+        workers = default_workers()
+    cache = _resolve_cache(cache_dir)
+
+    specs = [_resolve_spec(w) for w in workloads]
+    pols = [Policy.parse(p) for p in policies]
+
+    cells: list[_Cell] = []
+    factories: dict[str, WorkloadFactory] = {}
+    for name, factory in specs:
+        factories[name] = factory
+        token = _factory_token(factory)
+        for pol in pols:
+            for rep in range(reps):
+                seed = derive_seed(base_seed, "rep", rep, pol.value)
+                key = (
+                    _cell_key(token, pol.value, seed, machine, config, spcd_config)
+                    if cache is not None
+                    else ""
+                )
+                cells.append(_Cell(name, pol.value, rep, seed, key))
+
+    results: dict[tuple[str, str, int], SimulationResult] = {}
+    misses: list[_Cell] = []
+    hits = 0
+    for cell in cells:
+        cached = cache.load(cell.key) if cache is not None else None
+        if cached is not None:
+            results[(cell.workload, cell.policy, cell.rep)] = cached
+            hits += 1
+        else:
+            misses.append(cell)
+    if progress is not None and cells:
+        progress(f"grid: {hits}/{len(cells)} cells cached, {len(misses)} to run")
+
+    payloads = [
+        (
+            factories[c.workload],
+            Policy.parse(c.policy),
+            c.seed,
+            machine,
+            config,
+            spcd_config,
+        )
+        for c in misses
+    ]
+    if misses:
+        if workers > 1 and len(misses) > 1:
+            method = "fork" if "fork" in get_all_start_methods() else "spawn"
+            ctx = get_context(method)
+            with ctx.Pool(processes=min(workers, len(misses))) as pool:
+                fresh = pool.map(_run_cell_job, payloads, chunksize=1)
+        else:
+            fresh = [_run_cell_job(p) for p in payloads]
+        for cell, result in zip(misses, fresh):
+            results[(cell.workload, cell.policy, cell.rep)] = result
+            if cache is not None:
+                cache.store(cell.key, result)
+
+    grid = GridResult(cache_hits=hits, cache_misses=len(misses))
+    for name, _ in specs:
+        for pol in pols:
+            runs = [results[(name, pol.value, rep)] for rep in range(reps)]
+            metrics = {
+                m: summarize([r.metric(m) for r in runs]) for m in REPORT_METRICS
+            }
+            grid.cells[(name, pol.value)] = ReplicatedResult(
+                workload=runs[0].workload,
+                policy=pol.value,
+                metrics=metrics,
+                runs=runs if keep_runs else [],
+            )
+    return grid

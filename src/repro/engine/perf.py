@@ -1,0 +1,47 @@
+"""Lightweight wall-clock counters for the simulator's subsystems.
+
+These measure the *host* cost of a run (not simulated time): how long the
+MESI hierarchy, the fault pipeline, the SPCD/kernel-thread machinery and
+the access-stream generators took, so the engine's performance trajectory
+is observable in-repo (``bench_kernels.py`` snapshots them, and every
+:class:`~repro.engine.simulator.SimulationResult` carries one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class PerfCounters:
+    """Host-side wall-clock breakdown of one simulation run (seconds)."""
+
+    #: total wall-clock of :meth:`Simulator.run`
+    wall_s: float = 0.0
+    #: time inside ``CoherentHierarchy.access_batch_pu``
+    hierarchy_s: float = 0.0
+    #: time inside the fault pipeline (classification + handling)
+    fault_s: float = 0.0
+    #: time in the timer wheel + scheduler quanta (SPCD injector/evaluator,
+    #: load balancer, migrations)
+    spcd_s: float = 0.0
+    #: time generating workload access streams
+    workload_s: float = 0.0
+    #: memory accesses fed to the hierarchy
+    accesses: int = 0
+    #: page faults handled (first-touch + injected)
+    faults: int = 0
+
+    @property
+    def other_s(self) -> float:
+        """Wall time not attributed to a tracked subsystem."""
+        tracked = self.hierarchy_s + self.fault_s + self.spcd_s + self.workload_s
+        return max(0.0, self.wall_s - tracked)
+
+    def accesses_per_s(self) -> float:
+        """Hierarchy throughput (accesses per second of hierarchy time)."""
+        return self.accesses / self.hierarchy_s if self.hierarchy_s > 0 else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for reports/JSON snapshots."""
+        return {f.name: getattr(self, f.name) for f in fields(PerfCounters)}

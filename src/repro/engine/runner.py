@@ -114,16 +114,38 @@ def run_replicated(
     config: EngineConfig | None = None,
     spcd_config: SpcdConfig | None = None,
     keep_runs: bool = False,
+    workers: int | None = None,
+    cache_dir: "str | None" = None,
 ) -> ReplicatedResult:
     """Run *reps* repetitions with derived seeds; summarise every metric.
 
     For the RANDOM policy each repetition derives a fresh seed and hence a
     fresh random mapping, reproducing the paper's "10 different mappings,
     one for each execution".
+
+    With *workers* > 1 or a *cache_dir*, delegates to
+    :func:`repro.engine.gridrunner.run_grid` (same seed protocol, so the
+    result is identical to the serial path).
     """
     if reps <= 0:
         raise ConfigurationError("reps must be positive")
     policy = Policy.parse(policy)
+    if workers is not None and workers > 1 or cache_dir is not None:
+        from repro.engine import gridrunner  # local import: gridrunner imports us
+
+        grid = gridrunner.run_grid(
+            [workload_factory],
+            [policy],
+            reps,
+            base_seed=base_seed,
+            machine=machine,
+            config=config,
+            spcd_config=spcd_config,
+            workers=workers,
+            cache_dir=cache_dir,
+            keep_runs=keep_runs,
+        )
+        return next(iter(grid.cells.values()))
     runs: list[SimulationResult] = []
     for rep in range(reps):
         seed = derive_seed(base_seed, "rep", rep, policy.value)

@@ -18,7 +18,8 @@ units require it (energy).  Ratios such as MPKI are scale-free.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable
 
 import numpy as np
@@ -29,6 +30,7 @@ from repro.core.commmatrix import CommunicationMatrix
 from repro.core.manager import SpcdConfig, SpcdManager
 from repro.engine.energy import EnergyBreakdown, EnergyModel, EnergyParams
 from repro.engine.metrics import TimeModel, TimeParams
+from repro.engine.perf import PerfCounters
 from repro.engine.policies import Policy, make_scheduler
 from repro.errors import ConfigurationError, SimulationError
 from repro.kernelsim.clock import VirtualClock
@@ -101,6 +103,8 @@ class SimulationResult:
     stats: CacheStats
     energy: EnergyBreakdown
     detected_matrix: CommunicationMatrix | None = None
+    #: host-side wall-clock breakdown of the run (not simulated time)
+    perf: PerfCounters | None = None
 
     def metric(self, name: str) -> float:
         """Uniform numeric access for the analysis layer."""
@@ -172,6 +176,7 @@ class Simulator:
         self.instructions = 0.0
         self._accounted_overhead_ns = 0.0
         self.steps_run = 0
+        self.perf = PerfCounters()
 
     def _pretouch_serial(self) -> None:
         """Fault in every region page from thread 0 (serial init phase)."""
@@ -190,10 +195,12 @@ class Simulator:
     def run(self, step_callback: StepCallback | None = None) -> SimulationResult:
         """Execute the configured number of steps and return the metrics."""
         cfg = self.config
+        t0 = perf_counter()
         for step in range(cfg.steps):
             self._step()
             if step_callback is not None:
                 step_callback(self, step, self.clock.now_ns)
+        self.perf.wall_s += perf_counter() - t0
         return self._result()
 
     def _step(self) -> None:
@@ -207,6 +214,7 @@ class Simulator:
         scale = cfg.time_scale
 
         placement = self.scheduler.placement()
+        perf = self.perf
         step_time_ns = 0.0
         # Randomised thread order: with a fixed order the same thread would
         # always be first to re-fault on a cleared shared page, so its
@@ -215,13 +223,16 @@ class Simulator:
         for tid in self._order_rng.permutation(workload.n_threads):
             tid = int(tid)
             pu = int(placement[tid])
+            t_gen = perf_counter()
             ab = workload.generate(tid, batch, now, self._thread_rngs[tid])
+            perf.workload_s += perf_counter() - t_gen
             vaddrs = ab.vaddrs
             writes = ab.is_write
             if self.trace is not None:
                 self.trace.record(tid, now, vaddrs, writes)
             vpns = vaddrs >> PAGE_SHIFT
 
+            t_fault = perf_counter()
             fault_ns_0 = pipeline.fault_time_ns + pipeline.hook_time_ns
             fault_mask = pipeline.faulting_mask(vpns)
             if fault_mask.any():
@@ -237,14 +248,19 @@ class Simulator:
                         is_write=bool(writes[pos]),
                         now_ns=now,
                     )
+                perf.faults += len(fault_positions)
             fault_ns = (pipeline.fault_time_ns + pipeline.hook_time_ns) - fault_ns_0
+            perf.fault_s += perf_counter() - t_fault
 
             homes = table.home_nodes(vpns)
             table.mark_accessed_batch(vpns)
             lines = vaddrs >> CACHE_LINE_SHIFT
-            stats_before = replace(hierarchy.stats)
+            stats_before = hierarchy.stats.snapshot()
+            t_hier = perf_counter()
             hierarchy.access_batch_pu(pu, lines, writes, homes)
-            delta = _stats_delta(hierarchy.stats, stats_before)
+            perf.hierarchy_s += perf_counter() - t_hier
+            perf.accesses += batch
+            delta = hierarchy.stats.delta_since(stats_before)
 
             instructions = batch * workload.instructions_per_access
             self.instructions += instructions
@@ -256,12 +272,14 @@ class Simulator:
         self.clock.advance(step_time_ns)
         # Charge SPCD's asynchronous work (injection walks, mapping,
         # migrations) as it accrues.
+        t_spcd = perf_counter()
         overhead_now = self._spcd_async_overhead_ns()
         self.wheel.tick(self.clock.now_ns)
         self.scheduler.on_quantum(self.clock.now_ns, self._sched_rng)
         overhead_delta = self._spcd_async_overhead_ns() - overhead_now
         if overhead_delta > 0:
             self.clock.advance(overhead_delta)
+        perf.spcd_s += perf_counter() - t_spcd
         self.steps_run += 1
 
     def _spcd_async_overhead_ns(self) -> float:
@@ -315,11 +333,5 @@ class Simulator:
             stats=stats,
             energy=energy,
             detected_matrix=detected,
+            perf=self.perf,
         )
-
-
-def _stats_delta(after: CacheStats, before: CacheStats) -> CacheStats:
-    out = CacheStats()
-    for name in vars(out):
-        setattr(out, name, getattr(after, name) - getattr(before, name))
-    return out

@@ -1,0 +1,152 @@
+"""Differential tests: fast-path hierarchy vs the reference engine.
+
+The vectorised fast path of :class:`CoherentHierarchy` must be *bit
+identical* to the per-access reference loop (``REPRO_SLOW_HIERARCHY=1``) —
+same MESI transitions, same LRU decisions, same counters.  These tests pin
+that equivalence at three levels: raw access streams against the hierarchy,
+a full simulation under every mapping policy, and the numpy semantics the
+fast path relies on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cachesim.cache import LegacySetAssocCache, SetAssocCache
+from repro.cachesim.hierarchy import CoherentHierarchy
+from repro.cachesim.stats import CacheStats
+from repro.engine.policies import Policy
+from repro.engine.runner import run_single
+from repro.engine.simulator import EngineConfig
+from repro.machine.cache_params import CacheParams
+from repro.machine.topology import build_machine
+from repro.units import KIB
+from repro.workloads.npb import make_npb
+
+
+def small_machine():
+    return build_machine(
+        2, 2, 2,
+        l1=CacheParams("L1", 1 * KIB, 2, 64, 2.0, 1),
+        l2=CacheParams("L2", 2 * KIB, 2, 64, 6.0, 2),
+        l3=CacheParams("L3", 4 * KIB, 4, 64, 15.0, 3),
+    )
+
+
+def assert_stats_equal(fast: CacheStats, slow: CacheStats) -> None:
+    for f in dataclasses.fields(CacheStats):
+        assert getattr(fast, f.name) == getattr(slow, f.name), (
+            f"CacheStats.{f.name}: fast={getattr(fast, f.name)} "
+            f"slow={getattr(slow, f.name)}"
+        )
+
+
+def test_random_streams_are_bit_identical():
+    """Randomised batched access streams: counters, residency and dirt match."""
+    rng = np.random.default_rng(1234)
+    for trial in range(4):
+        fast = CoherentHierarchy(small_machine(), fast_path=True)
+        slow = CoherentHierarchy(small_machine(), fast_path=False)
+        n_cores = len(fast.l1)
+        for _ in range(10):
+            core = int(rng.integers(n_cores))
+            n = int(rng.integers(1, 300))
+            # mix dense (hit-heavy) and sparse (miss-heavy) line ranges
+            span = int(rng.choice([12, 40, 400]))
+            lines = rng.integers(0, span, size=n).astype(np.int64)
+            writes = rng.random(n) < 0.3
+            homes = rng.integers(0, 2, size=n).astype(np.int64)
+            fast.access_batch_pu(core, lines, writes, homes)
+            slow.access_batch_pu(core, lines, writes, homes)
+        assert_stats_equal(fast.stats, slow.stats)
+        assert fast.check_invariants() == []
+        for c_fast, c_slow in zip(
+            list(fast.l1) + list(fast.l2) + list(fast.l3),
+            list(slow.l1) + list(slow.l2) + list(slow.l3),
+        ):
+            assert set(c_fast.resident_lines()) == set(c_slow.resident_lines())
+            assert (c_fast.hits, c_fast.misses, c_fast.evictions) == (
+                c_slow.hits, c_slow.misses, c_slow.evictions,
+            )
+            for line in c_fast.resident_lines():
+                assert c_fast.is_dirty(line) == c_slow.is_dirty(line)
+
+
+@pytest.mark.parametrize("policy", list(Policy))
+def test_full_simulation_parity_per_policy(policy, monkeypatch):
+    """A small NPB run gives field-identical CacheStats fast vs slow."""
+    cfg = EngineConfig(steps=25, batch_size=128)
+
+    def factory():
+        return make_npb("CG")
+
+    monkeypatch.delenv("REPRO_SLOW_HIERARCHY", raising=False)
+    fast = run_single(factory, policy, seed=99, config=cfg)
+    monkeypatch.setenv("REPRO_SLOW_HIERARCHY", "1")
+    slow = run_single(factory, policy, seed=99, config=cfg)
+
+    assert_stats_equal(fast.stats, slow.stats)
+    for metric in ("exec_time_s", "l2_mpki", "l3_mpki", "c2c_transactions"):
+        assert fast.metric(metric) == slow.metric(metric)
+
+
+def test_backing_swap_roundtrip_preserves_state():
+    """Array<->OrderedDict L1 conversions keep LRU order, dirt and counters."""
+    rng = np.random.default_rng(7)
+    hier = CoherentHierarchy(small_machine(), fast_path=True)
+    lines = rng.integers(0, 200, size=500).astype(np.int64)
+    writes = rng.random(500) < 0.4
+    homes = np.zeros(500, dtype=np.int64)
+    hier.access_batch_pu(0, lines, writes, homes)
+
+    l1 = hier.l1[0]
+    if type(l1) is not SetAssocCache:  # adaptive bypass may have swapped already
+        hier._l1_to_array(0)
+        l1 = hier.l1[0]
+    before = {
+        line: l1.is_dirty(line) for line in l1.resident_lines()
+    }
+    counters = (l1.hits, l1.misses, l1.evictions)
+
+    hier._l1_to_scalar(0)
+    mid = hier.l1[0]
+    assert type(mid) is LegacySetAssocCache
+    assert {line: mid.is_dirty(line) for line in mid.resident_lines()} == before
+    assert (mid.hits, mid.misses, mid.evictions) == counters
+
+    hier._l1_to_array(0)
+    after = hier.l1[0]
+    assert type(after) is SetAssocCache
+    assert {line: after.is_dirty(line) for line in after.resident_lines()} == before
+    assert (after.hits, after.misses, after.evictions) == counters
+
+
+def test_snapshot_matches_dataclass_field_order():
+    """`CacheStats.snapshot` must track the dataclass field order exactly."""
+    stats = CacheStats(**{
+        f.name: i + 1 for i, f in enumerate(dataclasses.fields(CacheStats))
+    })
+    assert stats.snapshot() == tuple(
+        getattr(stats, f.name) for f in dataclasses.fields(CacheStats)
+    )
+
+
+def test_numpy_fancy_assignment_is_last_wins():
+    """`refresh_ways` relies on duplicate fancy indices resolving last-wins."""
+    a = np.zeros(4, dtype=np.int64)
+    a[np.array([1, 1, 2])] = np.array([10, 20, 30])
+    assert a[1] == 20 and a[2] == 30
+
+    cache = SetAssocCache(CacheParams("t", 1 * KIB, 2, 64))
+    cache.insert(0)
+    cache.insert(8)  # same set as 0 under 8 sets
+    sets = np.array([0, 0], dtype=np.int64)
+    resident, _, ways, _ = cache.probe_batch(np.array([0, 8], dtype=np.int64))
+    assert resident.all()
+    cache.refresh_ways(sets, ways)
+    # after the refresh the age order is probe order: 0 older than 8
+    cache.insert(16)  # evicts the LRU way of set 0
+    assert not cache.contains(0) and cache.contains(8)

@@ -1,0 +1,157 @@
+"""Tests for the parallel, disk-cached grid runner."""
+
+from __future__ import annotations
+
+import pickle
+from functools import partial
+
+import pytest
+
+from repro.engine.gridrunner import (
+    ResultCache,
+    _cell_key,
+    _factory_token,
+    _resolve_spec,
+    code_version,
+    run_cell,
+    run_grid,
+)
+from repro.engine.runner import normalized_to, run_replicated
+from repro.engine.simulator import EngineConfig
+from repro.errors import ConfigurationError
+from repro.machine.topology import dual_xeon_e5_2650
+from repro.core.manager import SpcdConfig
+from repro.workloads.npb import make_npb
+
+CFG = EngineConfig(steps=15, batch_size=128)
+
+
+# ---------------------------------------------------------------------------
+# spec / key plumbing
+# ---------------------------------------------------------------------------
+def test_resolve_spec_forms():
+    name, factory = _resolve_spec("CG")
+    assert name == "CG" and factory().name == make_npb("CG").name
+
+    name2, factory2 = _resolve_spec(("mine", partial(make_npb, "FT")))
+    assert name2 == "mine" and factory2().name == make_npb("FT").name
+
+    bare = partial(make_npb, "IS")
+    name3, _ = _resolve_spec(bare)
+    assert "IS" in name3
+
+    with pytest.raises(ConfigurationError):
+        _resolve_spec(42)
+
+
+def test_factory_token_is_stable_and_content_based():
+    t1 = _factory_token(partial(make_npb, "CG"))
+    t2 = _factory_token(partial(make_npb, "CG"))
+    t3 = _factory_token(partial(make_npb, "FT"))
+    assert t1 == t2  # no object identity / memory addresses leaking in
+    assert t1 != t3
+    assert "0x" not in repr(t1)
+
+
+def test_cell_key_sensitivity():
+    machine = dual_xeon_e5_2650()
+    base = dict(
+        wl_token=_factory_token(partial(make_npb, "CG")),
+        policy="spcd",
+        seed=1,
+        machine=machine,
+        config=EngineConfig(),
+        spcd_config=SpcdConfig(),
+    )
+    k = _cell_key(**base)
+    assert k == _cell_key(**base)  # deterministic
+    assert k != _cell_key(**{**base, "seed": 2})
+    assert k != _cell_key(**{**base, "policy": "os"})
+    assert k != _cell_key(**{**base, "config": EngineConfig(steps=7)})
+
+
+def test_code_version_stable_within_process():
+    assert code_version() == code_version()
+    assert len(code_version()) == 32
+
+
+# ---------------------------------------------------------------------------
+# result cache
+# ---------------------------------------------------------------------------
+def test_result_cache_roundtrip_and_corruption(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.load("ab" * 10) is None
+    payload = {"anything": "picklable"}
+    cache.store("ab" * 10, payload)
+    assert cache.load("ab" * 10) == payload
+    # a corrupted entry degrades to a miss, not an exception
+    cache.path("ab" * 10).write_bytes(b"not a pickle")
+    assert cache.load("ab" * 10) is None
+
+
+# ---------------------------------------------------------------------------
+# grid execution
+# ---------------------------------------------------------------------------
+def test_run_grid_parallel_matches_serial_runner(tmp_path):
+    """Pool scheduling must not change results: byte-identical to serial."""
+    serial = {
+        p: run_replicated(partial(make_npb, "CG"), p, reps=2, base_seed=11, config=CFG)
+        for p in ("os", "spcd")
+    }
+    grid = run_grid(
+        ["CG"], ["os", "spcd"], 2,
+        base_seed=11, config=CFG, workers=2, cache_dir=tmp_path,
+    )
+    assert grid.cache_misses == 4 and grid.cache_hits == 0
+    for p, want in serial.items():
+        got = grid.cell("CG", p)
+        assert got.workload == want.workload and got.policy == want.policy
+        assert pickle.dumps(got.metrics) == pickle.dumps(want.metrics)
+
+    # normalized_to() works straight off a grid row
+    norm = normalized_to(grid.by_workload("CG"), "exec_time_s")
+    assert norm["os"] == 1.0
+
+
+def test_run_grid_second_invocation_fully_cached(tmp_path):
+    first = run_grid(["CG"], ["os"], 2, base_seed=3, config=CFG, cache_dir=tmp_path)
+    assert (first.cache_hits, first.cache_misses) == (0, 2)
+    second = run_grid(["CG"], ["os"], 2, base_seed=3, config=CFG, cache_dir=tmp_path)
+    assert (second.cache_hits, second.cache_misses) == (2, 0)
+    assert pickle.dumps(second.cell("CG", "os").metrics) == pickle.dumps(
+        first.cell("CG", "os").metrics
+    )
+    # different base_seed is a different experiment -> no false sharing
+    third = run_grid(["CG"], ["os"], 2, base_seed=4, config=CFG, cache_dir=tmp_path)
+    assert third.cache_misses == 2
+
+
+def test_run_cell_reports_cache_state(tmp_path):
+    r1, cached1 = run_cell("CG", "os", 0, base_seed=5, config=CFG, cache_dir=tmp_path)
+    r2, cached2 = run_cell("CG", "os", 0, base_seed=5, config=CFG, cache_dir=tmp_path)
+    assert (cached1, cached2) == (False, True)
+    assert pickle.dumps(r1.stats) == pickle.dumps(r2.stats)
+
+
+def test_run_replicated_workers_kwarg_is_equivalent(tmp_path):
+    plain = run_replicated(partial(make_npb, "IS"), "spcd", reps=2, base_seed=9, config=CFG)
+    pooled = run_replicated(
+        partial(make_npb, "IS"), "spcd", reps=2, base_seed=9, config=CFG,
+        workers=2, cache_dir=tmp_path,
+    )
+    assert pickle.dumps(pooled.metrics) == pickle.dumps(plain.metrics)
+    assert pooled.workload == plain.workload and pooled.policy == plain.policy
+
+
+def test_run_grid_validates_inputs():
+    with pytest.raises(ConfigurationError):
+        run_grid(["CG"], ["os"], 0)
+    with pytest.raises(ConfigurationError):
+        run_grid([], ["os"], 1)
+
+
+def test_grid_result_accessors(tmp_path):
+    grid = run_grid(["CG"], ["os"], 1, base_seed=2, config=CFG, cache_dir=tmp_path)
+    assert grid.workloads == ["CG"]
+    assert grid.cell("CG", "os").policy == "os"
+    assert set(grid.by_workload("CG")) == {"os"}

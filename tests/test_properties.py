@@ -1,5 +1,7 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
+from collections import Counter
+
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -188,8 +190,8 @@ def test_cache_capacity_never_exceeded(lines):
     cache = SetAssocCache(CacheParams("t", 1 * KIB, 2, 64))
     for line in lines:
         cache.insert(line)
-    for s in cache._sets:
-        assert len(s) <= cache.ways
+    per_set = Counter(cache.set_index(line) for line in cache.resident_lines())
+    assert all(count <= cache.ways for count in per_set.values())
     # most recently inserted line of each set is resident
     assert cache.contains(lines[-1])
 
