@@ -184,3 +184,19 @@ def test_bench_fastpath_vs_reference(machine, results_dir):
     }
     emit(results_dir, "BENCH_hierarchy.json", json.dumps(payload, indent=2))
     assert payload["speedup"] > 1.0
+
+
+def test_bench_spcd_fault_path(results_dir):
+    """Fault-path throughput: batched pipeline + array detector vs reference.
+
+    A fault-heavy stream (256 injected faults per batch) resolved once via
+    ``handle_fault_batch`` with the array-table engine and once via the
+    per-fault reference loop with the dict engine.  The driver asserts both
+    end states are bit-identical, then ``BENCH_spcd.json`` records the
+    throughputs; the batched path must be at least 3x faster here.
+    """
+    from spcd_faultbench import run_spcd_fault_bench
+
+    payload = run_spcd_fault_bench()
+    emit(results_dir, "BENCH_spcd.json", json.dumps(payload, indent=2))
+    assert payload["speedup"] > 3.0

@@ -13,7 +13,7 @@ from repro.core.commmatrix import CommunicationMatrix
 from repro.core.datamap import SpcdDataMapper
 from repro.core.filter import CommunicationFilter
 from repro.core.grouping import group_matrix, pair_groups
-from repro.core.hashtable import ShareTable, ShareEntry, hash_64
+from repro.core.hashtable import ArrayShareTable, ShareTable, ShareEntry, hash_64, hash_64_batch
 from repro.core.injector import FaultInjector, InjectorMode
 from repro.core.manager import SpcdManager, SpcdConfig
 from repro.core.mapping import HierarchicalMapper
@@ -32,6 +32,7 @@ __all__ = [
     "HierarchicalMapper",
     "InjectorMode",
     "ShareEntry",
+    "ArrayShareTable",
     "ShareTable",
     "SpcdConfig",
     "SpcdDetector",
@@ -39,6 +40,7 @@ __all__ = [
     "greedy_matching",
     "group_matrix",
     "hash_64",
+    "hash_64_batch",
     "matching_weight",
     "max_weight_perfect_matching",
     "pair_groups",

@@ -44,6 +44,30 @@ class CommunicationMatrix:
         self._m[i, j] += amount
         self._m[j, i] += amount
 
+    def add_events(self, i: int, partners: np.ndarray) -> None:
+        """Record one unit event between *i* and every thread in *partners*.
+
+        *partners* may repeat ids; each occurrence is one event.  Uses
+        ``np.add.at``, which applies the additions one by one — bit-identical
+        to the equivalent sequence of :meth:`add` calls even where repeated
+        float rounding matters (e.g. after :meth:`decay` left fractions).
+        Small event lists take a plain loop of the same additions instead
+        (cheaper than two ``np.add.at`` dispatches).
+        """
+        if len(partners) <= 8:
+            m = self._m
+            for j in partners.tolist() if hasattr(partners, "tolist") else partners:
+                if j != i:
+                    m[i, j] += 1.0
+                    m[j, i] += 1.0
+            return
+        partners = np.asarray(partners, dtype=np.int64)
+        partners = partners[partners != i]
+        if partners.size == 0:
+            return
+        np.add.at(self._m, (i, partners), 1.0)
+        np.add.at(self._m, (partners, i), 1.0)
+
     def decay(self, factor: float) -> None:
         """Multiply everything by *factor* (aging for dynamic detection)."""
         if not 0.0 <= factor <= 1.0:

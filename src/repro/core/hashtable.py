@@ -9,11 +9,23 @@ access.  As in the paper:
 * the hash function is Linux's ``hash_64`` (golden-ratio multiplication);
 * on a collision the previous entry is **overwritten** — the paper accepts
   this accuracy loss to keep the fault-path cost constant.
+
+Two implementations share this contract:
+
+* :class:`ShareTable` — dict-of-entries; one Python dict per slot's sharer
+  timestamps.  The differential-testing reference engine
+  (``REPRO_SLOW_SPCD=1``).
+* :class:`ArrayShareTable` — NumPy slot arrays (a region-id vector plus a
+  ``(size, n_threads)`` last-access timestamp matrix) with a vectorised
+  batch touch path; its ``collisions``/``lookups``/``inserts`` counters are
+  bit-identical to the reference under the same fault stream.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 
@@ -31,6 +43,14 @@ def hash_64(value: int, bits: int = 64) -> int:
     if not 0 < bits <= 64:
         raise ConfigurationError("bits must be in (0, 64]")
     return ((value * GOLDEN_RATIO_64) & _MASK64) >> (64 - bits)
+
+
+def hash_64_batch(values: np.ndarray, bits: int = 64) -> np.ndarray:
+    """Vectorised :func:`hash_64` over a non-negative int vector (uint64 out)."""
+    if not 0 < bits <= 64:
+        raise ConfigurationError("bits must be in (0, 64]")
+    hashed = np.asarray(values).astype(np.uint64) * np.uint64(GOLDEN_RATIO_64)  # mod 2^64
+    return hashed >> np.uint64(64 - bits)
 
 
 @dataclass
@@ -116,3 +136,206 @@ class ShareTable:
     def entries(self) -> list[ShareEntry]:
         """All live entries (inspection/testing)."""
         return list(self._slots.values())
+
+
+#: sentinel region id for an empty ArrayShareTable slot (region ids are >= 0)
+_EMPTY_REGION = -1
+
+#: batches at or below this size take the scalar replay path: at steady
+#: state a thread batch produces only a handful of faults, where the fixed
+#: cost of the vectorised pass (hash, np.unique, fancy indexing) exceeds a
+#: direct per-fault replay.  Purely a performance knob — both paths are
+#: bit-identical, so the cutover never changes results.
+_SCALAR_TOUCH_MAX = 12
+
+
+class ArrayShareTable:
+    """Array-backed, overwrite-on-collision sharing table (the fast engine).
+
+    State is two NumPy arrays: a per-slot region id (``-1`` = empty) and a
+    ``(size, n_threads)`` last-access matrix storing ``timestamp + 1`` with
+    ``0`` as the "never touched" sentinel — the bias keeps the matrix a
+    plain ``np.zeros`` allocation, so untouched slots of a paper-sized
+    256k-entry table never cost physical memory.
+
+    :meth:`touch_batch` replays a whole fault batch: slots are computed with
+    a vectorised ``hash_64``, batch members landing on distinct slots are
+    processed in one pass, and the rare members colliding on a slot *within*
+    the batch are replayed scalarly in reference order — so ``collisions``
+    and ``inserts`` match the dict engine exactly, and the returned
+    communication events reproduce the reference engine's per-event matrix
+    updates bit for bit.
+    """
+
+    def __init__(self, size: int = DEFAULT_TABLE_SIZE, n_threads: int = 1) -> None:
+        if size <= 0:
+            raise ConfigurationError("table size must be positive")
+        if n_threads <= 0:
+            raise ConfigurationError("need at least one thread")
+        self.size = size
+        self.n_threads = n_threads
+        self._region = np.full(size, _EMPTY_REGION, dtype=np.int64)
+        #: biased timestamps: value v != 0 means last access at time v - 1
+        self._last = np.zeros((size, n_threads), dtype=np.int64)
+        self.collisions = 0
+        self.lookups = 0
+        self.inserts = 0
+
+    # -- hashing ------------------------------------------------------------
+    def slots_of(self, regions: np.ndarray) -> np.ndarray:
+        """Vectorised slot computation (``hash_64(region) % size``)."""
+        return (hash_64_batch(regions) % np.uint64(self.size)).astype(np.int64)
+
+    def _slot_of(self, region: int) -> int:
+        # hash_64(region) inlined (bits=64): called once per fault.
+        return ((region * GOLDEN_RATIO_64) & _MASK64) % self.size
+
+    # -- batch touch (the fault path) -----------------------------------------
+    def touch_batch(
+        self, regions: np.ndarray, tid: int, now_ns: int, window_ns: int
+    ) -> tuple[np.ndarray, int]:
+        """Record a fault batch by *tid* at *now_ns*; returns the comm events.
+
+        Returns ``(partners, windowed_out)``: one entry in *partners* per
+        communication event (the other thread's id, possibly repeated —
+        exactly the events the reference engine would emit one
+        ``matrix.add`` at a time), and the count of sharer timestamps that
+        fell outside the temporal window.
+        """
+        regions = np.asarray(regions, dtype=np.int64)
+        m = int(regions.size)
+        if m == 0:
+            return np.empty(0, dtype=np.int64), 0
+        if m <= _SCALAR_TOUCH_MAX:
+            partners: list[int] = []
+            windowed_out = 0
+            for region in regions.tolist():
+                js, wout = self.touch(region, tid, now_ns, window_ns)
+                partners.extend(js)
+                windowed_out += wout
+            return np.asarray(partners, dtype=np.int64), windowed_out
+        slots = self.slots_of(regions)
+        _, inverse, counts = np.unique(slots, return_inverse=True, return_counts=True)
+        dup = counts[inverse] > 1
+        if not dup.any():
+            return self._touch_distinct(slots, regions, tid, now_ns, window_ns)
+        events: list[np.ndarray] = []
+        windowed_out = 0
+        single = ~dup
+        if single.any():
+            js, wout = self._touch_distinct(
+                slots[single], regions[single], tid, now_ns, window_ns
+            )
+            events.append(js)
+            windowed_out += wout
+        # Batch members sharing a slot interact; replay them in fault order.
+        for k in np.flatnonzero(dup):
+            js, wout = self._touch_one(int(slots[k]), int(regions[k]), tid, now_ns, window_ns)
+            events.append(np.asarray(js, dtype=np.int64))
+            windowed_out += wout
+        return np.concatenate(events), windowed_out
+
+    def _touch_distinct(
+        self, slots: np.ndarray, regions: np.ndarray, tid: int, now_ns: int, window_ns: int
+    ) -> tuple[np.ndarray, int]:
+        """Touch faults whose slots are distinct within the batch."""
+        current = self._region[slots]
+        match = current == regions
+        self.collisions += int(np.count_nonzero((current != _EMPTY_REGION) & ~match))
+        partners = np.empty(0, dtype=np.int64)
+        windowed_out = 0
+        if match.any():
+            rows = self._last[slots[match]]
+            valid = rows != 0
+            valid[:, tid] = False
+            in_window = valid & ((now_ns + 1 - rows) <= window_ns)
+            partners = np.nonzero(in_window)[1].astype(np.int64)
+            windowed_out = int(np.count_nonzero(valid)) - int(partners.size)
+        fresh = ~match
+        n_fresh = int(np.count_nonzero(fresh))
+        if n_fresh:
+            fresh_slots = slots[fresh]
+            self._region[fresh_slots] = regions[fresh]
+            self._last[fresh_slots] = 0
+            self.inserts += n_fresh
+        self._last[slots, tid] = now_ns + 1
+        return partners, windowed_out
+
+    def touch(
+        self, region: int, tid: int, now_ns: int, window_ns: int
+    ) -> tuple[list[int], int]:
+        """Record one fault by *tid* on *region*; returns its comm events.
+
+        The scalar entry point (reference ``get_or_create`` + window-scan
+        semantics); the detector's small-batch path calls it per fault.
+        """
+        return self._touch_one(self._slot_of(region), region, tid, now_ns, window_ns)
+
+    def _touch_one(
+        self, slot: int, region: int, tid: int, now_ns: int, window_ns: int
+    ) -> tuple[list[int], int]:
+        """Scalar replay of one fault (reference ``get_or_create`` semantics)."""
+        biased = now_ns + 1
+        if self._region[slot] != region:
+            if self._region[slot] != _EMPTY_REGION:
+                self.collisions += 1
+            self._region[slot] = region
+            self._last[slot] = 0
+            self.inserts += 1
+            self._last[slot, tid] = biased
+            return [], 0
+        partners: list[int] = []
+        windowed_out = 0
+        for j, stamp in enumerate(self._last[slot].tolist()):
+            if stamp == 0 or j == tid:
+                continue
+            if biased - stamp <= window_ns:
+                partners.append(j)
+            else:
+                windowed_out += 1
+        self._last[slot, tid] = biased
+        return partners, windowed_out
+
+    # -- dict-engine-compatible inspection API --------------------------------
+    def lookup(self, region: int) -> ShareEntry | None:
+        """Snapshot of the entry for *region*, or ``None`` (absent/overwritten).
+
+        Unlike the dict engine this returns a materialised copy, not a live
+        entry — mutate the table through :meth:`touch_batch`.
+        """
+        self.lookups += 1
+        slot = self._slot_of(region)
+        if self._region[slot] != region:
+            return None
+        return self._entry_at(slot)
+
+    def _entry_at(self, slot: int) -> ShareEntry:
+        row = self._last[slot]
+        touched = np.flatnonzero(row)
+        return ShareEntry(
+            region=int(self._region[slot]),
+            last_access={int(t): int(row[t]) - 1 for t in touched},
+        )
+
+    def clear(self) -> None:
+        """Drop every entry (e.g. when the application exits)."""
+        self._region[:] = _EMPTY_REGION
+        self._last[:] = 0
+
+    def __len__(self) -> int:
+        return int(np.count_nonzero(self._region != _EMPTY_REGION))
+
+    def occupancy(self) -> float:
+        """Fraction of slots in use."""
+        return len(self) / self.size
+
+    def shared_region_count(self) -> int:
+        """Number of currently tracked regions with >= 2 sharers."""
+        occupied = self._region != _EMPTY_REGION
+        if not occupied.any():
+            return 0
+        return int(np.count_nonzero((self._last[occupied] != 0).sum(axis=1) >= 2))
+
+    def entries(self) -> list[ShareEntry]:
+        """All live entries as snapshots (inspection/testing)."""
+        return [self._entry_at(int(s)) for s in np.flatnonzero(self._region != _EMPTY_REGION)]

@@ -22,6 +22,9 @@ class PerfCounters:
     hierarchy_s: float = 0.0
     #: time inside the fault pipeline (classification + handling)
     fault_s: float = 0.0
+    #: time inside fault hooks (SPCD detection / data-map recording); a
+    #: subset of ``fault_s``, not an additional bucket
+    detect_s: float = 0.0
     #: time in the timer wheel + scheduler quanta (SPCD injector/evaluator,
     #: load balancer, migrations)
     spcd_s: float = 0.0
@@ -34,7 +37,11 @@ class PerfCounters:
 
     @property
     def other_s(self) -> float:
-        """Wall time not attributed to a tracked subsystem."""
+        """Wall time not attributed to a tracked subsystem.
+
+        ``detect_s`` is contained in ``fault_s`` and therefore not part of
+        the sum.
+        """
         tracked = self.hierarchy_s + self.fault_s + self.spcd_s + self.workload_s
         return max(0.0, self.wall_s - tracked)
 

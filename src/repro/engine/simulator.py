@@ -38,7 +38,7 @@ from repro.kernelsim.kthread import TimerWheel
 from repro.kernelsim.scheduler import PinnedScheduler
 from repro.machine.topology import Machine, dual_xeon_e5_2650
 from repro.mem.addresspace import AddressSpace
-from repro.mem.fault import FaultPipeline
+from repro.mem.fault import FaultPipeline, slow_spcd_requested
 from repro.mem.physmem import FrameAllocator
 from repro.mem.tlb import TlbArray
 from repro.rng import RngFactory
@@ -144,6 +144,9 @@ class Simulator:
             self.tlbs,
             node_of_pu=self.machine.numa_node_of,
         )
+        #: REPRO_SLOW_SPCD=1 keeps the per-fault reference path end to end
+        #: (scalar resolution loop + dict detection engine)
+        self._batch_faults = not slow_spcd_requested()
         self.hierarchy = CoherentHierarchy(self.machine)
         self.time_model = TimeModel(self.machine, params=self.config.time_params)
         self.energy_model = EnergyModel(self.machine, params=self.config.energy_params)
@@ -181,6 +184,21 @@ class Simulator:
     def _pretouch_serial(self) -> None:
         """Fault in every region page from thread 0 (serial init phase)."""
         pu0 = int(self.scheduler.pu_of(0))
+        if self._batch_faults:
+            # One bulk first-touch mapping per region: identical page-table
+            # state, frames and counters as the per-VPN reference loop.
+            for region in self.address_space.regions():
+                vpns = region.vpns()
+                if vpns.size == 0:
+                    continue
+                self.pipeline.handle_fault_batch(
+                    0,
+                    pu0,
+                    vpns << PAGE_SHIFT,
+                    np.ones(vpns.size, dtype=bool),
+                    now_ns=self.clock.now_ns,
+                )
+            return
         for region in self.address_space.regions():
             for vpn in region.vpns():
                 self.pipeline.handle_fault(
@@ -234,22 +252,34 @@ class Simulator:
 
             t_fault = perf_counter()
             fault_ns_0 = pipeline.fault_time_ns + pipeline.hook_time_ns
+            hook_wall_0 = pipeline.hook_wall_s
             fault_mask = pipeline.faulting_mask(vpns)
             if fault_mask.any():
-                fault_vpns, first_idx = np.unique(
-                    vpns[fault_mask], return_index=True
-                )
-                fault_positions = np.flatnonzero(fault_mask)[first_idx]
-                for pos in fault_positions:
-                    pipeline.handle_fault(
+                if self._batch_faults:
+                    fb = pipeline.handle_fault_batch(
                         tid,
                         pu,
-                        int(vaddrs[pos]),
-                        is_write=bool(writes[pos]),
+                        vaddrs[fault_mask],
+                        writes[fault_mask],
                         now_ns=now,
                     )
-                perf.faults += len(fault_positions)
+                    perf.faults += fb.n_faults
+                else:
+                    fault_vpns, first_idx = np.unique(
+                        vpns[fault_mask], return_index=True
+                    )
+                    fault_positions = np.flatnonzero(fault_mask)[first_idx]
+                    for pos in fault_positions:
+                        pipeline.handle_fault(
+                            tid,
+                            pu,
+                            int(vaddrs[pos]),
+                            is_write=bool(writes[pos]),
+                            now_ns=now,
+                        )
+                    perf.faults += len(fault_positions)
             fault_ns = (pipeline.fault_time_ns + pipeline.hook_time_ns) - fault_ns_0
+            perf.detect_s += pipeline.hook_wall_s - hook_wall_0
             perf.fault_s += perf_counter() - t_fault
 
             homes = table.home_nodes(vpns)

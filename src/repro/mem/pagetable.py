@@ -100,6 +100,14 @@ class PageTable:
         """Vectorised present-bit lookup for an int array of VPNs."""
         return self._present[vpns]
 
+    def populated_mask(self, vpns: np.ndarray) -> np.ndarray:
+        """Vectorised populated-bit lookup for an int array of VPNs."""
+        return self._populated[vpns]
+
+    def frames_of(self, vpns: np.ndarray) -> np.ndarray:
+        """Vectorised frame lookup (``NO_FRAME`` where unpopulated)."""
+        return self._frame[vpns]
+
     def populated_vpns(self) -> np.ndarray:
         """All VPNs that currently have a frame (sorted)."""
         return np.flatnonzero(self._populated)
@@ -127,6 +135,25 @@ class PageTable:
         self._present[vpn] = True
         self._frame[vpn] = frame
         self._home_node[vpn] = home_node
+
+    def map_pages(self, vpns: np.ndarray, frames: np.ndarray, home_nodes: np.ndarray) -> None:
+        """Bulk first-touch population: install *frames* at *vpns*.
+
+        Equivalent to calling :meth:`map_page` per VPN; the VPNs must be
+        distinct and none of them populated.
+        """
+        vpns = np.asarray(vpns, dtype=np.int64)
+        if vpns.size == 0:
+            return
+        if vpns.min() < 0 or vpns.max() >= self.capacity:
+            raise AddressError("vpn out of range in map_pages")
+        if self._populated[vpns].any():
+            bad = vpns[self._populated[vpns]][0]
+            raise PageFaultError(f"vpn {int(bad)} already populated")
+        self._populated[vpns] = True
+        self._present[vpns] = True
+        self._frame[vpns] = frames
+        self._home_node[vpns] = home_nodes
 
     def unmap_page(self, vpn: int) -> int:
         """Remove the mapping at *vpn*; returns the freed frame."""
@@ -164,6 +191,18 @@ class PageTable:
             raise PageFaultError(f"cannot restore present bit of unpopulated vpn {vpn}")
         self._present[vpn] = True
 
+    def restore_present_batch(self, vpns: np.ndarray) -> None:
+        """Bulk present-bit restore after SPCD-injected faults."""
+        vpns = np.asarray(vpns, dtype=np.int64)
+        if vpns.size == 0:
+            return
+        if vpns.min() < 0 or vpns.max() >= self.capacity:
+            raise AddressError("vpn out of range in restore_present_batch")
+        if not self._populated[vpns].all():
+            bad = vpns[~self._populated[vpns]][0]
+            raise PageFaultError(f"cannot restore present bit of unpopulated vpn {int(bad)}")
+        self._present[vpns] = True
+
     def mark_accessed(self, vpn: int, dirty: bool = False) -> None:
         """Set accessed (and optionally dirty) bits, as the MMU would."""
         self._check(vpn)
@@ -171,9 +210,15 @@ class PageTable:
         if dirty:
             self._dirty[vpn] = True
 
-    def mark_accessed_batch(self, vpns: np.ndarray) -> None:
-        """Vectorised accessed-bit setting (the MMU sets A on TLB refill)."""
+    def mark_accessed_batch(self, vpns: np.ndarray, dirty: np.ndarray | None = None) -> None:
+        """Vectorised accessed-bit setting (the MMU sets A on TLB refill).
+
+        *dirty*, when given, is a boolean mask aligned with *vpns* marking
+        which of them were written.
+        """
         self._accessed[vpns] = True
+        if dirty is not None and dirty.any():
+            self._dirty[vpns[dirty]] = True
 
     def accessed_present_vpns(self) -> np.ndarray:
         """VPNs that are present and were accessed since the last aging."""
@@ -198,6 +243,13 @@ class PageTable:
         self._check(vpn)
         self.walk_count += 1
         return radix_indices(vpn)
+
+    def walk_batch(self, vpns: np.ndarray) -> None:
+        """Account one radix walk per VPN (the batched fault path's walks)."""
+        vpns = np.asarray(vpns, dtype=np.int64)
+        if vpns.size and (vpns.min() < 0 or vpns.max() >= self.capacity):
+            raise AddressError("vpn out of range in walk_batch")
+        self.walk_count += int(vpns.size)
 
     def consistency_ok(self) -> bool:
         """Structural invariants (used by property tests).

@@ -8,6 +8,8 @@ simulator reproduces first-touch faithfully.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import ConfigurationError, PageFaultError
 from repro.units import PAGE_SIZE
 
@@ -50,6 +52,49 @@ class FrameAllocator:
                 self.allocated[candidate] += 1
                 return frame
         raise PageFaultError("out of physical memory on all nodes")
+
+    def allocate_batch(self, node: int, count: int) -> np.ndarray:
+        """Allocate *count* frames on *node*, with the same fallback order.
+
+        Returns exactly the frames ``count`` successive :meth:`allocate`
+        calls would return, in the same order: free-list frames newest-first,
+        then bump allocation, walking nodes by increasing id distance.
+        """
+        if count < 0:
+            raise ConfigurationError("cannot allocate a negative frame count")
+        out = np.empty(count, dtype=np.int64)
+        filled = 0
+        order = sorted(range(self.n_nodes), key=lambda n: abs(n - node))
+        for candidate in order:
+            if filled >= count:
+                break
+            free = self._free[candidate]
+            take = min(len(free), count - filled)
+            if take:
+                # pop() order: newest free frame first
+                out[filled : filled + take] = free[: -take - 1 : -1]
+                del free[-take:]
+                self.allocated[candidate] += take
+                filled += take
+            limit = (candidate + 1) * self.frames_per_node
+            nxt = self._next[candidate]
+            take = min(limit - nxt, count - filled)
+            if take > 0:
+                out[filled : filled + take] = np.arange(nxt, nxt + take, dtype=np.int64)
+                self._next[candidate] = nxt + take
+                self.allocated[candidate] += take
+                filled += take
+        if filled < count:
+            raise PageFaultError("out of physical memory on all nodes")
+        return out
+
+    def nodes_of_frames(self, frames: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`node_of_frame`."""
+        frames = np.asarray(frames, dtype=np.int64)
+        nodes = frames // self.frames_per_node
+        if frames.size and (nodes.min() < 0 or nodes.max() >= self.n_nodes):
+            raise PageFaultError("frame outside any node")
+        return nodes
 
     def free(self, frame: int) -> None:
         """Return *frame* to its node's free list."""

@@ -13,6 +13,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 
@@ -47,6 +49,26 @@ class Tlb:
         if len(self._entries) >= self.capacity:
             self._entries.popitem(last=False)
         self._entries[vpn] = frame
+
+    def insert_batch(
+        self, vpns: np.ndarray, frames: np.ndarray, *, assume_unique: bool = False
+    ) -> None:
+        """Install translations in order, exactly as repeated :meth:`insert`.
+
+        With ``assume_unique`` (distinct VPNs, as the batched fault path
+        guarantees) and a batch at least as long as the TLB, only the last
+        ``capacity`` pairs can survive the LRU, so the loop is skipped.
+        """
+        vpn_list = vpns.tolist() if hasattr(vpns, "tolist") else list(vpns)
+        frame_list = frames.tolist() if hasattr(frames, "tolist") else list(frames)
+        if assume_unique and len(vpn_list) >= self.capacity:
+            self._entries.clear()
+            start = len(vpn_list) - self.capacity
+            for vpn, frame in zip(vpn_list[start:], frame_list[start:]):
+                self._entries[vpn] = frame
+            return
+        for vpn, frame in zip(vpn_list, frame_list):
+            self.insert(vpn, frame)
 
     def invalidate(self, vpn: int) -> bool:
         """Drop the entry for *vpn* if cached; True if it was present."""
@@ -83,18 +105,24 @@ class TlbArray:
     def __len__(self) -> int:
         return len(self.tlbs)
 
-    def shootdown(self, vpns: Iterable[int]) -> int:
+    def shootdown(self, vpns: "np.ndarray | Iterable[int]") -> int:
         """Invalidate *vpns* on every PU (inter-processor interrupt model).
 
         Returns the number of entries actually removed across all TLBs.
         This is what the SPCD injector performs after clearing present bits.
+        Accepts an int ndarray directly (the injector's bulk path); per TLB
+        the cost is one set intersection over at most ``capacity`` entries
+        rather than a Python loop over every shot-down VPN.
         """
+        tolist = getattr(vpns, "tolist", None)
+        targets = set(tolist()) if tolist is not None else {int(v) for v in vpns}
         removed = 0
-        vpn_list = list(vpns)
         for tlb in self.tlbs:
-            for vpn in vpn_list:
-                if tlb.invalidate(vpn):
-                    removed += 1
+            hits = targets.intersection(tlb._entries)
+            for vpn in hits:
+                del tlb._entries[vpn]
+            tlb.invalidations += len(hits)
+            removed += len(hits)
         self.shootdowns += 1
         return removed
 

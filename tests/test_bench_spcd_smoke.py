@@ -1,0 +1,61 @@
+"""Smoke test: the fault-path microbenchmark runs and its schema is stable.
+
+``benchmarks/bench_kernels.py`` emits ``BENCH_spcd.json`` from the driver in
+``benchmarks/spcd_faultbench.py``; this loads the driver directly (the
+benchmarks directory is not a package) with tiny parameters and pins the
+payload schema so the JSON artifact cannot silently change shape.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_DRIVER = Path(__file__).parent.parent / "benchmarks" / "spcd_faultbench.py"
+
+
+@pytest.fixture(scope="module")
+def faultbench():
+    spec = importlib.util.spec_from_file_location("spcd_faultbench", _DRIVER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_driver_runs_and_schema_is_stable(faultbench):
+    payload = faultbench.run_spcd_fault_bench(
+        n_threads=8,
+        n_pages=256,
+        batches=6,
+        faults_per_batch=32,
+        table_size=509,
+        seed=3,
+    )
+    assert set(payload) == {
+        "faults",
+        "batches",
+        "faults_per_batch",
+        "n_threads",
+        "fast_faults_per_s",
+        "slow_faults_per_s",
+        "speedup",
+    }
+    assert payload["faults"] == 6 * 32
+    assert payload["fast_faults_per_s"] > 0
+    assert payload["slow_faults_per_s"] > 0
+    assert payload["speedup"] > 0
+
+
+def test_driver_covers_scalar_cutover(faultbench):
+    """Tiny batches route through the scalar small-batch paths and still agree."""
+    payload = faultbench.run_spcd_fault_bench(
+        n_threads=4,
+        n_pages=128,
+        batches=8,
+        faults_per_batch=3,
+        table_size=61,
+        seed=11,
+    )
+    assert payload["faults"] == 8 * 3
