@@ -8,7 +8,6 @@ policy (OS / random / oracle / SPCD), normalised to the OS baseline, with
 from conftest import BENCH_SET, POLICIES, emit
 
 from repro.analysis.report import format_figure_table, format_table
-from repro.workloads.npb import NPB_SPECS
 
 
 def test_fig8_execution_time(benchmark, suite, results_dir):

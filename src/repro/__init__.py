@@ -39,6 +39,7 @@ from repro.engine import (
     run_single,
 )
 from repro.machine import Machine, build_machine, dual_xeon_e5_2650
+from repro.obs import JsonlRecorder, TraceRecorder
 from repro.workloads import ProducerConsumerWorkload, SyntheticNpbWorkload, make_npb
 
 __version__ = "1.0.0"
@@ -48,6 +49,7 @@ __all__ = [
     "CommunicationMatrix",
     "EngineConfig",
     "HierarchicalMapper",
+    "JsonlRecorder",
     "Machine",
     "Policy",
     "ProducerConsumerWorkload",
@@ -57,6 +59,7 @@ __all__ = [
     "SpcdDetector",
     "SpcdManager",
     "SyntheticNpbWorkload",
+    "TraceRecorder",
     "build_machine",
     "dual_xeon_e5_2650",
     "make_npb",

@@ -27,6 +27,8 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.mem.fault import FaultPipeline
 from repro.mem.tlb import TlbArray
+from repro.obs.events import InjectorWake, TlbShootdown
+from repro.obs.recorder import TraceRecorder
 from repro.units import MSEC
 
 
@@ -65,6 +67,7 @@ class FaultInjector:
         max_per_wake: int = 4096,
         clear_cost_ns: float = 150.0,
         sampling: str = "accessed",
+        recorder: TraceRecorder | None = None,
     ) -> None:
         if not 0.0 < target_ratio < 1.0:
             raise ConfigurationError("target ratio must be in (0, 1)")
@@ -87,6 +90,7 @@ class FaultInjector:
         #: of cold streaming pages.  "uniform" is the paper-literal random
         #: sample over all present pages (kept for the ablation).
         self.sampling = sampling
+        self.recorder = recorder
         self.cleared_total = 0
         self.wakes = 0
         self.inject_time_ns = 0.0
@@ -124,7 +128,7 @@ class FaultInjector:
         if want <= 0:
             if self.sampling == "accessed":
                 table.age_accessed()
-            return 0
+            return self._record_wake(now_ns, want, 0, 0)
         if self.sampling == "accessed":
             candidates = table.accessed_present_vpns()
             table.age_accessed()
@@ -133,14 +137,39 @@ class FaultInjector:
         else:
             candidates = table.present_vpns()
         if candidates.size == 0:
-            return 0
+            return self._record_wake(now_ns, want, 0, 0)
         count = min(want, candidates.size)
         chosen = self.rng.choice(candidates, size=count, replace=False)
         cleared = table.clear_present(chosen)
         if self.tlbs is not None:
-            self.tlbs.shootdown(chosen)  # bulk ndarray path
+            removed = self.tlbs.shootdown(chosen)  # bulk ndarray path
+            if self.recorder is not None:
+                self.recorder.emit(
+                    TlbShootdown(
+                        now_ns=int(now_ns),
+                        n_vpns=int(chosen.size),
+                        entries_removed=int(removed),
+                        shootdowns=self.tlbs.shootdowns,
+                    )
+                )
         self.cleared_total += cleared
         self.inject_time_ns += cleared * self.clear_cost_ns
+        return self._record_wake(now_ns, want, int(candidates.size), cleared)
+
+    def _record_wake(self, now_ns: int, budget: int, candidates: int, cleared: int) -> int:
+        """Emit this wake's adaptivity record; returns *cleared* (pass-through)."""
+        if self.recorder is not None:
+            self.recorder.emit(
+                InjectorWake(
+                    now_ns=int(now_ns),
+                    wake=self.wakes,
+                    budget=int(budget),
+                    candidates=candidates,
+                    cleared=cleared,
+                    cleared_total=self.cleared_total,
+                    inject_time_ns=self.inject_time_ns,
+                )
+            )
         return cleared
 
     def achieved_ratio(self) -> float:

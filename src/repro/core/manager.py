@@ -15,6 +15,7 @@ paper's Fig. 16 split into *detection overhead* (fault hook + injection) and
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -29,6 +30,8 @@ from repro.kernelsim.scheduler import PinnedScheduler
 from repro.machine.topology import Machine
 from repro.mem.fault import FaultPipeline
 from repro.mem.tlb import TlbArray
+from repro.obs.events import MappingDecision, SpcdEvaluation
+from repro.obs.recorder import TraceRecorder
 from repro.units import MSEC, PAGE_SIZE
 
 
@@ -128,12 +131,14 @@ class SpcdManager:
         tlbs: TlbArray | None = None,
         timer_wheel: TimerWheel | None = None,
         config: SpcdConfig | None = None,
+        recorder: TraceRecorder | None = None,
     ) -> None:
         self.machine = machine
         self.n_threads = n_threads
         self.config = config or SpcdConfig()
         cfg = self.config
         self.pipeline = pipeline
+        self.recorder = recorder
         self.detector = SpcdDetector(
             n_threads,
             granularity=cfg.granularity,
@@ -153,6 +158,7 @@ class SpcdManager:
             max_per_wake=cfg.injector_max_per_wake,
             clear_cost_ns=cfg.clear_cost_ns,
             sampling=cfg.injector_sampling,
+            recorder=recorder,
         )
         self.filter = CommunicationFilter(
             n_threads,
@@ -165,7 +171,7 @@ class SpcdManager:
             use_greedy_matching=cfg.use_greedy_matching,
             stickiness=cfg.mapper_stickiness,
         )
-        self.migrator = MigrationEngine(scheduler, tlbs)
+        self.migrator = MigrationEngine(scheduler, tlbs, recorder=recorder)
         self.data_mapper = None
         if cfg.data_mapping:
             from repro.core.datamap import SpcdDataMapper
@@ -196,19 +202,23 @@ class SpcdManager:
         """
         self.overheads.filter_evaluations += 1
         matrix = self.detector.matrix
+        verdict = "insufficient-evidence"
+        # Each mapping decision requires a quota of *fresh* communication
+        # evidence since the previous one; barely-communicating
+        # applications (EP) accumulate events so slowly that they remap
+        # at most once, as in the paper's Table II.
+        fresh = self.detector.stats.comm_events - self._events_at_last_trigger
         try:
-            # Each mapping decision requires a quota of *fresh* communication
-            # evidence since the previous one; barely-communicating
-            # applications (EP) accumulate events so slowly that they remap
-            # at most once, as in the paper's Table II.
-            fresh = self.detector.stats.comm_events - self._events_at_last_trigger
             if fresh < self.config.filter_min_events:
                 return False
             if now_ns - self._last_migration_ns < self.config.remap_cooldown_ns:
+                verdict = "cooldown"
                 return False
             if self.config.filter_enabled and not self.filter.should_remap(matrix):
+                verdict = "pattern-unchanged"
                 return False
             if not self.config.filter_enabled and matrix.total() == 0:
+                verdict = "no-communication"
                 return False
             self._events_at_last_trigger = self.detector.stats.comm_events
             current = self.migrator.scheduler.placement()
@@ -219,20 +229,55 @@ class SpcdManager:
             )
             cost_now = mapping_comm_cost(matrix.matrix, current, self.machine)
             cost_new = mapping_comm_cost(matrix.matrix, mapping, self.machine)
-            if cost_now > 0 and cost_new > self.config.min_improvement * cost_now:
+            vetoed = cost_now > 0 and cost_new > self.config.min_improvement * cost_now
+            if self.recorder is not None:
+                self.recorder.emit(
+                    MappingDecision(
+                        now_ns=int(now_ns),
+                        current=[int(p) for p in current],
+                        proposed=[int(p) for p in mapping],
+                        cost_now=float(cost_now),
+                        cost_new=float(cost_new),
+                        accepted=not vetoed,
+                    )
+                )
+            if vetoed:
                 # Vetoed: the filter's snapshot stays updated — the change
                 # was considered and judged not worth a migration.  If the
                 # pattern keeps evolving, partners will drift against the
                 # new snapshot and re-trigger naturally.
+                verdict = "vetoed"
                 return False
             moved = self.migrator.apply_mapping(mapping, now_ns)
             if moved:
                 self._last_migration_ns = now_ns
                 self._mapping_history.append((now_ns, mapping.copy()))
+                verdict = "migrated"
+            else:
+                verdict = "no-move"
             return moved > 0
         finally:
+            if self.recorder is not None:
+                self.recorder.emit(
+                    SpcdEvaluation(
+                        now_ns=int(now_ns),
+                        evaluation=self.overheads.filter_evaluations,
+                        verdict=verdict,
+                        fresh_events=float(fresh),
+                        partners=[int(p) for p in matrix.partners()],
+                        matrix_digest=self._matrix_digest(matrix),
+                        mapping_ns=self.overheads.mapping_ns,
+                    )
+                )
             if self.config.matrix_decay < 1.0:
                 matrix.decay(self.config.matrix_decay)
+
+    @staticmethod
+    def _matrix_digest(matrix) -> str:
+        """Short content digest of the matrix snapshot (trace audit anchor)."""
+        return hashlib.blake2b(
+            np.ascontiguousarray(matrix.matrix).tobytes(), digest_size=8
+        ).hexdigest()
 
     # -- reporting ---------------------------------------------------------------
     @property

@@ -29,6 +29,8 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
+import warnings
 from dataclasses import dataclass, field
 from functools import partial
 from multiprocessing import get_all_start_methods, get_context
@@ -46,6 +48,7 @@ from repro.engine.runner import (
 from repro.engine.simulator import EngineConfig, SimulationResult, Simulator
 from repro.errors import ConfigurationError
 from repro.machine.topology import Machine, dual_xeon_e5_2650
+from repro.obs.recorder import JsonlRecorder, cell_trace_path, trace_base_from_env
 from repro.rng import derive_seed
 from repro.workloads.npb import make_npb
 
@@ -131,9 +134,14 @@ def _factory_token(factory: WorkloadFactory) -> tuple:
     """A stable, content-addressable identity for a workload factory.
 
     Built from import path + arguments, never ``repr`` (which leaks memory
-    addresses).  Named functions and :func:`functools.partial` over named
-    functions yield stable tokens; anything else falls back to the import
-    path alone.
+    addresses).  Named module-level functions and :func:`functools.partial`
+    over named functions yield stable tokens.  Factories *without* a stable
+    import path — lambdas, closures (``<locals>`` in the qualname), objects
+    with no ``__qualname__`` at all — raise :class:`ConfigurationError`:
+    every lambda in a module shares the qualname ``<lambda>``, so two
+    different ad-hoc factories would otherwise collide in the cell key and
+    silently serve each other's cached results.  Callers bypass the cache
+    for such factories (see :func:`_cache_token`).
     """
     if isinstance(factory, partial):
         return (
@@ -143,8 +151,29 @@ def _factory_token(factory: WorkloadFactory) -> tuple:
             tuple(sorted(factory.keywords.items())),
         )
     module = getattr(factory, "__module__", "?")
-    qualname = getattr(factory, "__qualname__", getattr(factory, "__name__", "?"))
+    qualname = getattr(factory, "__qualname__", getattr(factory, "__name__", None))
+    if qualname is None or "<lambda>" in qualname or "<locals>" in qualname:
+        raise ConfigurationError(
+            f"workload factory {qualname or factory!r} (module {module}) has no "
+            "stable import path, so its cached results would collide with any "
+            "other such factory; define the factory at module level or use "
+            "functools.partial over a named function"
+        )
     return ("fn", module, qualname)
+
+
+def _cache_token(factory: WorkloadFactory) -> tuple | None:
+    """The factory's cache token, or ``None`` to bypass the cache.
+
+    A factory with no stable identity cannot be safely cached; degrade to
+    an uncached run (with a warning) rather than failing the experiment or
+    — worse — colliding silently.
+    """
+    try:
+        return _factory_token(factory)
+    except ConfigurationError as exc:
+        warnings.warn(f"{exc}; running without the result cache", stacklevel=3)
+        return None
 
 
 @dataclass(frozen=True)
@@ -164,10 +193,34 @@ class ResultCache:
     Layout: ``<root>/<key[:2]>/<key>.pkl``.  Writes go through a temp file
     in the target directory followed by :func:`os.replace`, so readers
     never observe partial files and concurrent writers are safe.
+
+    A writer killed between ``mkstemp`` and the rename (SIGKILL, OOM, power
+    loss — paths the in-process ``except`` cannot cover) leaves an orphaned
+    ``*.tmp`` file behind; construction sweeps any such file older than
+    *stale_tmp_age_s* (young ones may belong to a live concurrent writer).
     """
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    def __init__(
+        self, root: str | os.PathLike, *, stale_tmp_age_s: float = 3600.0
+    ) -> None:
         self.root = Path(root)
+        #: orphaned temp files removed by the construction-time sweep
+        self.swept_tmp_files = self._sweep_stale_tmp(stale_tmp_age_s)
+
+    def _sweep_stale_tmp(self, max_age_s: float) -> int:
+        """Delete orphaned ``*.tmp`` files older than *max_age_s* seconds."""
+        if not self.root.is_dir():
+            return 0
+        cutoff = time.time() - max_age_s
+        swept = 0
+        for tmp in self.root.glob("*/*.tmp"):
+            try:
+                if tmp.stat().st_mtime <= cutoff:
+                    tmp.unlink()
+                    swept += 1
+            except OSError:  # pragma: no cover - raced by a concurrent sweep
+                continue
+        return swept
 
     def path(self, key: str) -> Path:
         """On-disk location for *key*."""
@@ -222,7 +275,8 @@ def _cell_key(
 
 def _run_cell_job(payload: tuple) -> SimulationResult:
     """Pool worker: run one cell simulation (module-level for pickling)."""
-    factory, policy, seed, machine, config, spcd_config = payload
+    factory, policy, seed, machine, config, spcd_config, trace_path = payload
+    recorder = JsonlRecorder(trace_path) if trace_path else None
     sim = Simulator(
         factory(),
         policy,
@@ -230,6 +284,7 @@ def _run_cell_job(payload: tuple) -> SimulationResult:
         seed=seed,
         config=config,
         spcd_config=spcd_config,
+        recorder=recorder,
     )
     return sim.run()
 
@@ -245,8 +300,15 @@ def run_cell(
     spcd_config: SpcdConfig | None = None,
     cache: ResultCache | None = None,
     cache_dir: str | os.PathLike | None = None,
+    trace: str | os.PathLike | None = None,
 ) -> tuple[SimulationResult, bool]:
-    """One grid cell, through the cache; returns ``(result, was_cached)``."""
+    """One grid cell, through the cache; returns ``(result, was_cached)``.
+
+    With *trace* (default: ``REPRO_TRACE``) set, a freshly simulated cell
+    writes its JSONL trace to :func:`repro.obs.recorder.cell_trace_path`;
+    cells served from the cache do not re-run and produce no trace.  The
+    recorder never participates in the cache key.
+    """
     policy = Policy.parse(policy)
     name, factory = _resolve_spec(workload)
     machine = machine or dual_xeon_e5_2650()
@@ -257,11 +319,21 @@ def run_cell(
         cache = _resolve_cache(cache_dir)
     key = ""
     if cache is not None:
-        key = _cell_key(_factory_token(factory), policy.value, seed, machine, config, spcd_config)
-        hit = cache.load(key)
-        if hit is not None:
-            return hit, True
-    result = _run_cell_job((factory, policy, seed, machine, config, spcd_config))
+        token = _cache_token(factory)
+        if token is None:
+            cache = None  # no stable identity: bypass, never collide
+        else:
+            key = _cell_key(token, policy.value, seed, machine, config, spcd_config)
+            hit = cache.load(key)
+            if hit is not None:
+                return hit, True
+    trace_root = Path(trace) if trace is not None else trace_base_from_env()
+    trace_path = (
+        str(cell_trace_path(trace_root, name, policy.value, rep))
+        if trace_root is not None
+        else None
+    )
+    result = _run_cell_job((factory, policy, seed, machine, config, spcd_config, trace_path))
     if cache is not None:
         cache.store(key, result)
     return result, False
@@ -309,6 +381,7 @@ def run_grid(
     cache_dir: str | os.PathLike | None = None,
     keep_runs: bool = False,
     progress: Callable[[str], None] | None = None,
+    trace: str | os.PathLike | None = None,
 ) -> GridResult:
     """Run a ``workloads x policies x reps`` grid of simulations.
 
@@ -317,6 +390,12 @@ def run_grid(
     ``REPRO_GRID_WORKERS``, serial when unset).  Results are byte-identical
     to running every cell serially with
     :func:`repro.engine.runner.run_replicated` under the same *base_seed*.
+
+    With *trace* (default: ``REPRO_TRACE``) set, every freshly simulated
+    cell writes one JSONL trace file (per-cell paths via
+    :func:`repro.obs.recorder.cell_trace_path`; cached cells do not re-run
+    and emit none).  Trace configuration is deliberately excluded from the
+    cell cache keys: tracing never changes results.
     """
     if reps <= 0:
         raise ConfigurationError("reps must be positive")
@@ -336,13 +415,13 @@ def run_grid(
     factories: dict[str, WorkloadFactory] = {}
     for name, factory in specs:
         factories[name] = factory
-        token = _factory_token(factory)
+        token = _cache_token(factory) if cache is not None else None
         for pol in pols:
             for rep in range(reps):
                 seed = derive_seed(base_seed, "rep", rep, pol.value)
                 key = (
                     _cell_key(token, pol.value, seed, machine, config, spcd_config)
-                    if cache is not None
+                    if token is not None
                     else ""
                 )
                 cells.append(_Cell(name, pol.value, rep, seed, key))
@@ -351,7 +430,7 @@ def run_grid(
     misses: list[_Cell] = []
     hits = 0
     for cell in cells:
-        cached = cache.load(cell.key) if cache is not None else None
+        cached = cache.load(cell.key) if cache is not None and cell.key else None
         if cached is not None:
             results[(cell.workload, cell.policy, cell.rep)] = cached
             hits += 1
@@ -360,6 +439,7 @@ def run_grid(
     if progress is not None and cells:
         progress(f"grid: {hits}/{len(cells)} cells cached, {len(misses)} to run")
 
+    trace_root = Path(trace) if trace is not None else trace_base_from_env()
     payloads = [
         (
             factories[c.workload],
@@ -368,6 +448,9 @@ def run_grid(
             machine,
             config,
             spcd_config,
+            str(cell_trace_path(trace_root, c.workload, c.policy, c.rep))
+            if trace_root is not None
+            else None,
         )
         for c in misses
     ]
@@ -381,7 +464,7 @@ def run_grid(
             fresh = [_run_cell_job(p) for p in payloads]
         for cell, result in zip(misses, fresh):
             results[(cell.workload, cell.policy, cell.rep)] = result
-            if cache is not None:
+            if cache is not None and cell.key:
                 cache.store(cell.key, result)
 
     grid = GridResult(cache_hits=hits, cache_misses=len(misses))

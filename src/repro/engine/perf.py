@@ -36,14 +36,25 @@ class PerfCounters:
     faults: int = 0
 
     @property
-    def other_s(self) -> float:
-        """Wall time not attributed to a tracked subsystem.
+    def tracked_s(self) -> float:
+        """Wall time attributed to a tracked subsystem.
 
         ``detect_s`` is contained in ``fault_s`` and therefore not part of
         the sum.
         """
-        tracked = self.hierarchy_s + self.fault_s + self.spcd_s + self.workload_s
-        return max(0.0, self.wall_s - tracked)
+        return self.hierarchy_s + self.fault_s + self.spcd_s + self.workload_s
+
+    @property
+    def other_s(self) -> float:
+        """Raw residual: wall time not attributed to a tracked subsystem.
+
+        Deliberately *not* clamped at zero — the tracked timers are
+        disjoint sub-intervals of ``wall_s``, so a negative residual means
+        two subsystem timers overlap (double counting, as ``detect_s`` ⊂
+        ``fault_s`` would if it were summed) and must surface, not be
+        silently hidden.  The parity/smoke suites assert it non-negative.
+        """
+        return self.wall_s - self.tracked_s
 
     def accesses_per_s(self) -> float:
         """Hierarchy throughput (accesses per second of hierarchy time)."""

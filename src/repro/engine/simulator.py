@@ -41,6 +41,13 @@ from repro.mem.addresspace import AddressSpace
 from repro.mem.fault import FaultPipeline, slow_spcd_requested
 from repro.mem.physmem import FrameAllocator
 from repro.mem.tlb import TlbArray
+from repro.obs.events import CacheEpoch, FaultBatchSummary, RunEnd, RunStart
+from repro.obs.recorder import (
+    JsonlRecorder,
+    TraceRecorder,
+    run_trace_path,
+    trace_base_from_env,
+)
 from repro.rng import RngFactory
 from repro.units import CACHE_LINE_SHIFT, PAGE_SHIFT
 from repro.workloads.base import Workload
@@ -123,12 +130,24 @@ class Simulator:
         seed: int = 0,
         config: EngineConfig | None = None,
         spcd_config: SpcdConfig | None = None,
+        recorder: TraceRecorder | None = None,
     ) -> None:
         self.workload = workload
         self.policy = Policy.parse(policy)
         self.machine = machine or dual_xeon_e5_2650()
         self.config = config or EngineConfig()
+        self.seed = seed
         self.rngs = RngFactory(seed)
+        # Tracing: an explicit recorder wins; otherwise REPRO_TRACE enables
+        # a JSONL recorder (a NullRecorder or unset env leaves tracing off,
+        # and the hot paths then pay a single None test per fault batch).
+        if recorder is None:
+            base = trace_base_from_env()
+            if base is not None:
+                recorder = JsonlRecorder(
+                    run_trace_path(base, workload.name, self.policy.value, seed)
+                )
+        self.recorder: TraceRecorder | None = recorder if recorder else None
 
         n = workload.n_threads
         self.clock = VirtualClock()
@@ -171,6 +190,7 @@ class Simulator:
                 tlbs=self.tlbs,
                 timer_wheel=self.wheel,
                 config=spcd_config,
+                recorder=self.recorder,
             )
         self.trace = TraceCollector() if self.config.collect_trace else None
         self._thread_rngs = [self.rngs.rng("workload", t) for t in range(n)]
@@ -213,13 +233,44 @@ class Simulator:
     def run(self, step_callback: StepCallback | None = None) -> SimulationResult:
         """Execute the configured number of steps and return the metrics."""
         cfg = self.config
+        rec = self.recorder
+        if rec is not None:
+            rec.emit(
+                RunStart(
+                    workload=self.workload.name,
+                    policy=self.policy.value,
+                    seed=self.seed,
+                    n_threads=self.workload.n_threads,
+                    steps=cfg.steps,
+                    batch_size=cfg.batch_size,
+                )
+            )
+            # The serial pretouch phase faulted before run() — summarise it
+            # as a step -1 batch so fault totals reconstruct from the trace.
+            if self.pipeline.total_faults:
+                rec.emit(
+                    FaultBatchSummary(
+                        step=-1,
+                        now_ns=self.clock.now_ns,
+                        thread_id=0,
+                        pu_id=int(self.scheduler.pu_of(0)),
+                        first_touch=self.pipeline.first_touch_faults,
+                        injected=self.pipeline.injected_faults,
+                        fault_time_ns=self.pipeline.fault_time_ns,
+                        hook_time_ns=self.pipeline.hook_time_ns,
+                    )
+                )
         t0 = perf_counter()
         for step in range(cfg.steps):
             self._step()
             if step_callback is not None:
                 step_callback(self, step, self.clock.now_ns)
         self.perf.wall_s += perf_counter() - t0
-        return self._result()
+        result = self._result()
+        if rec is not None:
+            self._emit_run_end(rec, result)
+            rec.close()
+        return result
 
     def _step(self) -> None:
         cfg = self.config
@@ -254,7 +305,10 @@ class Simulator:
             fault_ns_0 = pipeline.fault_time_ns + pipeline.hook_time_ns
             hook_wall_0 = pipeline.hook_wall_s
             fault_mask = pipeline.faulting_mask(vpns)
-            if fault_mask.any():
+            had_faults = bool(fault_mask.any())
+            ft_0 = pipeline.first_touch_faults
+            inj_0 = pipeline.injected_faults
+            if had_faults:
                 if self._batch_faults:
                     fb = pipeline.handle_fault_batch(
                         tid,
@@ -281,6 +335,19 @@ class Simulator:
             fault_ns = (pipeline.fault_time_ns + pipeline.hook_time_ns) - fault_ns_0
             perf.detect_s += pipeline.hook_wall_s - hook_wall_0
             perf.fault_s += perf_counter() - t_fault
+            if had_faults and self.recorder is not None:
+                self.recorder.emit(
+                    FaultBatchSummary(
+                        step=self.steps_run,
+                        now_ns=now,
+                        thread_id=tid,
+                        pu_id=pu,
+                        first_touch=pipeline.first_touch_faults - ft_0,
+                        injected=pipeline.injected_faults - inj_0,
+                        fault_time_ns=pipeline.fault_time_ns,
+                        hook_time_ns=pipeline.hook_time_ns,
+                    )
+                )
 
             homes = table.home_nodes(vpns)
             table.mark_accessed_batch(vpns)
@@ -311,6 +378,36 @@ class Simulator:
             self.clock.advance(overhead_delta)
         perf.spcd_s += perf_counter() - t_spcd
         self.steps_run += 1
+
+    def _emit_run_end(self, rec: TraceRecorder, result: SimulationResult) -> None:
+        """Seal the trace: cache epoch snapshot + run summary (PerfCounters)."""
+        rec.emit(
+            CacheEpoch(
+                step=self.steps_run,
+                now_ns=self.clock.now_ns,
+                stats=self.hierarchy.stats.as_dict(),
+            )
+        )
+        detection_ns = mapping_ns = 0.0
+        if self.manager is not None:
+            detection_ns = self.manager.detection_time_ns()
+            mapping_ns = self.manager.mapping_time_ns()
+        rec.emit(
+            RunEnd(
+                total_ns=float(self.clock.now_ns),
+                steps_run=self.steps_run,
+                migrations=result.migrations,
+                os_migrations=result.os_migrations,
+                first_touch_faults=result.first_touch_faults,
+                injected_faults=result.injected_faults,
+                detection_ns=detection_ns,
+                mapping_ns=mapping_ns,
+                detection_pct=result.detection_pct,
+                mapping_pct=result.mapping_pct,
+                perf=self.perf.as_dict(),
+                perf_other_s=self.perf.other_s,
+            )
+        )
 
     def _spcd_async_overhead_ns(self) -> float:
         if self.manager is None:

@@ -12,6 +12,8 @@ from typing import Sequence
 
 from repro.kernelsim.scheduler import PinnedScheduler
 from repro.mem.tlb import TlbArray
+from repro.obs.events import Migration
+from repro.obs.recorder import TraceRecorder
 
 
 class MigrationEngine:
@@ -23,10 +25,12 @@ class MigrationEngine:
         tlbs: TlbArray | None = None,
         *,
         cost_per_move_ns: float = 50_000.0,
+        recorder: TraceRecorder | None = None,
     ) -> None:
         self.scheduler = scheduler
         self.tlbs = tlbs
         self.cost_per_move_ns = cost_per_move_ns
+        self.recorder = recorder
         self.moves = 0
         #: times a full mapping was applied with at least one actual move
         self.migration_events = 0
@@ -42,4 +46,14 @@ class MigrationEngine:
         self.moves += len(moved)
         if moved:
             self.migration_events += 1
+            if self.recorder is not None:
+                self.recorder.emit(
+                    Migration(
+                        now_ns=int(now_ns),
+                        n_moved=len(moved),
+                        mapping=[int(p) for p in mapping],
+                        migration_events=self.migration_events,
+                        cost_ns=self.cost_ns,
+                    )
+                )
         return len(moved)

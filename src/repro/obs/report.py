@@ -1,0 +1,247 @@
+"""Reconstruct run-level results from a trace alone.
+
+``python -m repro.obs.report trace.jsonl [more.jsonl ...] [--json]``
+
+The reconstruction uses only the per-decision event stream — migration
+events for the paper's Table II migration counts, the cumulative overhead
+counters carried by fault-batch / injector-wake / evaluation / migration
+events for the Fig. 16 detection-vs-mapping split — and reproduces the
+corresponding :class:`~repro.engine.simulator.SimulationResult` fields
+*exactly* (same floats, same integers; pinned by ``tests/test_obs.py``).
+The ``run_end`` summary event is used only for the run's total virtual
+time and as a cross-check: a mismatch between the reconstruction and the
+summary means the trace is incomplete or the instrumentation drifted, and
+is reported as an error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RunReport", "iter_events", "load_events", "reconstruct_runs", "main"]
+
+
+@dataclass
+class RunReport:
+    """Everything reconstructable about one run from its event stream."""
+
+    workload: str = "?"
+    policy: str = "?"
+    seed: int = 0
+    total_ns: float = 0.0
+    steps_run: int = 0
+    #: Table II: applied mappings that moved at least one thread
+    migrations: int = 0
+    #: Fig. 16 numerators (virtual ns)
+    detection_ns: float = 0.0
+    mapping_ns: float = 0.0
+    first_touch_faults: int = 0
+    injected_faults: int = 0
+    injector_wakes: int = 0
+    pages_cleared: int = 0
+    evaluations: int = 0
+    verdicts: Counter = field(default_factory=Counter)
+    mapper_calls: int = 0
+    vetoed_mappings: int = 0
+    tlb_shootdowns: int = 0
+    events: int = 0
+    #: inconsistencies against the run_end summary (empty = trace is sound)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def detection_pct(self) -> float:
+        """Detection overhead as % of execution time (Fig. 16)."""
+        return 100.0 * self.detection_ns / self.total_ns if self.total_ns else 0.0
+
+    @property
+    def mapping_pct(self) -> float:
+        """Mapping overhead as % of execution time (Fig. 16)."""
+        return 100.0 * self.mapping_ns / self.total_ns if self.total_ns else 0.0
+
+    @property
+    def injected_ratio(self) -> float:
+        """Share of faults that were SPCD-injected."""
+        total = self.first_touch_faults + self.injected_faults
+        return self.injected_faults / total if total else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-friendly view (for ``--json`` and downstream tooling)."""
+        return {
+            "workload": self.workload,
+            "policy": self.policy,
+            "seed": self.seed,
+            "total_ns": self.total_ns,
+            "steps_run": self.steps_run,
+            "migrations": self.migrations,
+            "detection_pct": self.detection_pct,
+            "mapping_pct": self.mapping_pct,
+            "detection_ns": self.detection_ns,
+            "mapping_ns": self.mapping_ns,
+            "first_touch_faults": self.first_touch_faults,
+            "injected_faults": self.injected_faults,
+            "injected_ratio": self.injected_ratio,
+            "injector_wakes": self.injector_wakes,
+            "pages_cleared": self.pages_cleared,
+            "evaluations": self.evaluations,
+            "verdicts": dict(self.verdicts),
+            "mapper_calls": self.mapper_calls,
+            "vetoed_mappings": self.vetoed_mappings,
+            "tlb_shootdowns": self.tlb_shootdowns,
+            "events": self.events,
+            "errors": list(self.errors),
+        }
+
+
+def iter_events(path: "str | Path") -> Iterator[dict[str, Any]]:
+    """Yield the JSONL events of one trace file."""
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{path}:{lineno}: not a JSONL trace line: {exc}"
+                ) from exc
+
+
+def load_events(path: "str | Path") -> list[dict[str, Any]]:
+    """All events of one trace file, in order."""
+    return list(iter_events(path))
+
+
+def reconstruct_runs(events: Iterable[dict[str, Any]]) -> list[RunReport]:
+    """Fold an event stream into per-run reports.
+
+    A stream may contain several runs back to back (each bracketed by
+    ``run_start`` / ``run_end``); events outside any bracket are attached
+    to the nearest started run.
+    """
+    runs: list[RunReport] = []
+    run: RunReport | None = None
+    # cumulative-counter tails of the current run
+    hook_ns = inject_ns = mapper_ns = migrate_ns = 0.0
+
+    for ev in events:
+        kind = ev.get("type", "?")
+        if kind == "run_start" or run is None:
+            run = RunReport(
+                workload=str(ev.get("workload", "?")),
+                policy=str(ev.get("policy", "?")),
+                seed=int(ev.get("seed", 0)),
+            )
+            runs.append(run)
+            hook_ns = inject_ns = mapper_ns = migrate_ns = 0.0
+            if kind == "run_start":
+                run.events += 1
+                continue
+        run.events += 1
+        if kind == "fault_batch":
+            run.first_touch_faults += int(ev["first_touch"])
+            run.injected_faults += int(ev["injected"])
+            hook_ns = float(ev["hook_time_ns"])
+        elif kind == "injector_wake":
+            run.injector_wakes += 1
+            run.pages_cleared += int(ev["cleared"])
+            inject_ns = float(ev["inject_time_ns"])
+        elif kind == "tlb_shootdown":
+            run.tlb_shootdowns += 1
+        elif kind == "spcd_evaluation":
+            run.evaluations += 1
+            run.verdicts[str(ev["verdict"])] += 1
+            mapper_ns = float(ev["mapping_ns"])
+        elif kind == "mapping_decision":
+            run.mapper_calls += 1
+            if not ev["accepted"]:
+                run.vetoed_mappings += 1
+        elif kind == "migration":
+            run.migrations += 1
+            migrate_ns = float(ev["cost_ns"])
+        elif kind == "run_end":
+            run.total_ns = float(ev["total_ns"])
+            run.steps_run = int(ev["steps_run"])
+            # Same additions, same order, as SpcdManager.detection_time_ns /
+            # mapping_time_ns — the split is reproduced bit-for-bit.
+            run.detection_ns = hook_ns + inject_ns
+            run.mapping_ns = mapper_ns + migrate_ns
+            _cross_check(run, ev)
+            run = None
+    return runs
+
+
+def _cross_check(run: RunReport, end: dict[str, Any]) -> None:
+    """Compare the reconstruction against the run_end summary."""
+    checks = (
+        ("migrations", run.migrations, int(end["migrations"])),
+        ("first_touch_faults", run.first_touch_faults, int(end["first_touch_faults"])),
+        ("injected_faults", run.injected_faults, int(end["injected_faults"])),
+        ("detection_ns", run.detection_ns, float(end["detection_ns"])),
+        ("mapping_ns", run.mapping_ns, float(end["mapping_ns"])),
+        ("detection_pct", run.detection_pct, float(end["detection_pct"])),
+        ("mapping_pct", run.mapping_pct, float(end["mapping_pct"])),
+    )
+    for name, got, want in checks:
+        if got != want:
+            run.errors.append(f"{name}: reconstructed {got!r} != summary {want!r}")
+
+
+def report_paths(paths: Iterable["str | Path"]) -> list[RunReport]:
+    """Reconstruct every run found in *paths* (one or more trace files)."""
+    reports: list[RunReport] = []
+    for p in paths:
+        reports.extend(reconstruct_runs(iter_events(p)))
+    return reports
+
+
+def _format_table(reports: list[RunReport]) -> str:
+    header = (
+        f"{'workload':<14} {'policy':<8} {'migr':>5} {'detect%':>8} "
+        f"{'map%':>8} {'faults':>9} {'inj%':>6} {'wakes':>6} {'evals':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in reports:
+        faults = r.first_touch_faults + r.injected_faults
+        lines.append(
+            f"{r.workload:<14.14} {r.policy:<8.8} {r.migrations:>5d} "
+            f"{r.detection_pct:>8.3f} {r.mapping_pct:>8.3f} {faults:>9d} "
+            f"{100.0 * r.injected_ratio:>6.1f} {r.injector_wakes:>6d} "
+            f"{r.evaluations:>6d}"
+        )
+        for err in r.errors:
+            lines.append(f"  !! {err}")
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Reconstruct Table II / Fig. 16 numbers from REPRO_TRACE files.",
+    )
+    parser.add_argument("traces", nargs="+", type=Path, help="JSONL trace file(s)")
+    parser.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    args = parser.parse_args(argv)
+
+    reports = report_paths(args.traces)
+    if not reports:
+        print("no runs found in the given traces", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps([r.as_dict() for r in reports], indent=2))
+    else:
+        print(_format_table(reports))
+    return 1 if any(r.errors for r in reports) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

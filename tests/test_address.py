@@ -1,6 +1,5 @@
 """Tests for virtual-address decomposition."""
 
-import numpy as np
 import pytest
 
 from repro.errors import AddressError

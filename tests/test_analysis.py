@@ -1,7 +1,6 @@
 """Tests for heatmaps and paper-style reports."""
 
 import numpy as np
-import pytest
 
 from repro.analysis.heatmap import heatmap_ascii, heatmap_pgm, save_matrix_csv
 from repro.analysis.report import POLICY_ORDER, figure_series, format_figure_table, format_table

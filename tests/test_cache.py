@@ -1,6 +1,5 @@
 """Tests for the set-associative cache."""
 
-import pytest
 
 from repro.cachesim.cache import SetAssocCache
 from repro.machine.cache_params import CacheParams

@@ -1,6 +1,5 @@
 """Tests for SPCD-driven data mapping (NUMA page migration)."""
 
-import numpy as np
 import pytest
 
 from repro.core.datamap import SpcdDataMapper

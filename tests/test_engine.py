@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cachesim.stats import CacheStats
-from repro.engine.energy import EnergyModel, EnergyParams
+from repro.engine.energy import EnergyModel
 from repro.engine.metrics import TimeModel, TimeParams
 from repro.engine.policies import Policy, make_scheduler
 from repro.errors import ConfigurationError

@@ -5,7 +5,6 @@ executed end-to-end; the full scripts run in the documented workflows.
 """
 
 import ast
-import runpy
 import subprocess
 import sys
 from pathlib import Path

@@ -5,10 +5,8 @@ tiny hash tables (constant collisions), exhausted NUMA nodes, pathological
 cache pressure, and extreme injection settings.
 """
 
-import numpy as np
 import pytest
 
-from repro.core.hashtable import ShareTable
 from repro.core.manager import SpcdConfig
 from repro.core.spcd import SpcdDetector
 from repro.engine.simulator import EngineConfig, Simulator

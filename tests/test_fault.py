@@ -1,6 +1,5 @@
 """Tests for the page-fault pipeline and its hooks."""
 
-import numpy as np
 import pytest
 
 from repro.errors import PageFaultError

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import os
 import pickle
+import time
 from functools import partial
 
 import pytest
@@ -53,6 +55,63 @@ def test_factory_token_is_stable_and_content_based():
     assert "0x" not in repr(t1)
 
 
+def test_factory_token_rejects_unstable_identities():
+    """Every lambda/closure in a module shares one qualname; a token built
+    from it would let two different factories serve each other's cached
+    results — so unstable factories must be refused, not silently hashed."""
+    with pytest.raises(ConfigurationError):
+        _factory_token(lambda: make_npb("CG"))
+
+    def local_factory():
+        return make_npb("CG")
+
+    with pytest.raises(ConfigurationError):
+        _factory_token(local_factory)  # '<locals>' qualname: same collision
+    with pytest.raises(ConfigurationError):
+        _factory_token(partial(lambda: make_npb("CG")))  # partial can't launder it
+
+
+def test_lambda_factories_bypass_cache_instead_of_colliding(tmp_path):
+    """Two distinct same-module lambdas must never share a cache entry.
+
+    Before the fix both mapped to ("fn", module, "<lambda>") and the second
+    run_cell silently returned the first one's SimulationResult; now the
+    cache is bypassed (with a warning) and each factory gets its own run.
+    """
+    with pytest.warns(UserWarning, match="stable import path"):
+        r1, cached1 = run_cell(
+            ("wl-a", lambda: make_npb("CG")), "os", 0,
+            base_seed=5, config=CFG, cache_dir=tmp_path,
+        )
+    with pytest.warns(UserWarning, match="stable import path"):
+        r2, cached2 = run_cell(
+            ("wl-b", lambda: make_npb("FT")), "os", 0,
+            base_seed=5, config=CFG, cache_dir=tmp_path,
+        )
+    assert (cached1, cached2) == (False, False)
+    assert r1.workload != r2.workload  # no cross-served result
+    # nothing was stored under a colliding key either
+    assert list(tmp_path.rglob("*.pkl")) == []
+
+
+def test_run_grid_with_lambda_factory_warns_and_bypasses_cache(tmp_path):
+    with pytest.warns(UserWarning, match="stable import path"):
+        grid = run_grid(
+            [("wl", lambda: make_npb("CG"))], ["os"], 1,
+            base_seed=2, config=CFG, cache_dir=tmp_path,
+        )
+    assert grid.cache_misses == 1 and grid.cache_hits == 0
+    assert list(tmp_path.rglob("*.pkl")) == []
+    # named factories keep caching as before, in the same grid call
+    with pytest.warns(UserWarning, match="stable import path"):
+        mixed = run_grid(
+            [("wl", lambda: make_npb("CG")), "FT"], ["os"], 1,
+            base_seed=2, config=CFG, cache_dir=tmp_path,
+        )
+    assert mixed.cache_misses == 2
+    assert len(list(tmp_path.rglob("*.pkl"))) == 1  # only FT was stored
+
+
 def test_cell_key_sensitivity():
     machine = dual_xeon_e5_2650()
     base = dict(
@@ -87,6 +146,43 @@ def test_result_cache_roundtrip_and_corruption(tmp_path):
     # a corrupted entry degrades to a miss, not an exception
     cache.path("ab" * 10).write_bytes(b"not a pickle")
     assert cache.load("ab" * 10) is None
+
+
+def test_result_cache_sweeps_stale_tmp_files(tmp_path):
+    """A worker killed between mkstemp and os.replace (the crash window the
+    in-process ``except BaseException`` cannot cover) leaves a ``*.tmp``
+    orphan; the next cache construction sweeps it."""
+    cache = ResultCache(tmp_path)
+    cache.store("cd" * 10, {"ok": 1})
+    # simulate the crash: an orphaned temp file next to the stored entry
+    orphan = cache.path("cd" * 10).parent / "tmpdead123.tmp"
+    orphan.write_bytes(b"partial pickle from a dead worker")
+    old = time.time() - 7200
+    os.utime(orphan, (old, old))
+    # a *young* temp file may belong to a live concurrent writer: kept
+    young = cache.path("cd" * 10).parent / "tmplive456.tmp"
+    young.write_bytes(b"in-flight write")
+
+    swept = ResultCache(tmp_path)
+    assert swept.swept_tmp_files == 1
+    assert not orphan.exists() and young.exists()
+    assert swept.load("cd" * 10) == {"ok": 1}  # real entries untouched
+    # an explicit zero age sweeps everything, orphan age notwithstanding
+    assert ResultCache(tmp_path, stale_tmp_age_s=0).swept_tmp_files == 1
+    assert not young.exists()
+
+
+def test_result_cache_store_cleans_up_on_inprocess_failure(tmp_path):
+    cache = ResultCache(tmp_path)
+
+    class Unpicklable:
+        def __reduce__(self):
+            raise RuntimeError("boom")
+
+    with pytest.raises(RuntimeError):
+        cache.store("ef" * 10, Unpicklable())
+    assert list(tmp_path.rglob("*.tmp")) == []
+    assert cache.load("ef" * 10) is None
 
 
 # ---------------------------------------------------------------------------

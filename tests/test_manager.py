@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.injector import InjectorMode
 from repro.core.manager import SpcdConfig, SpcdManager
 from repro.kernelsim.kthread import TimerWheel
 from repro.kernelsim.scheduler import PinnedScheduler

@@ -4,7 +4,6 @@ Cross-validated against ``networkx`` (whose implementation follows the same
 classic formulation) and against brute force on small instances.
 """
 
-import itertools
 
 import networkx as nx
 import numpy as np

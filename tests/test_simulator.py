@@ -1,11 +1,9 @@
 """Tests for the end-to-end simulator (small, fast configurations)."""
 
-import numpy as np
 import pytest
 
 from repro.core.manager import SpcdConfig
 from repro.engine.runner import (
-    MetricStats,
     normalized_to,
     run_replicated,
     run_single,

@@ -231,3 +231,8 @@ def test_full_simulation_parity(name, factory, monkeypatch):
     assert fast.migrations == slow.migrations
     for metric in ("exec_time_s", "l2_mpki", "l3_mpki", "c2c_transactions"):
         assert fast.metric(metric) == slow.metric(metric)
+    # The subsystem timers are disjoint sub-intervals of the run's wall
+    # clock; a negative raw residual would mean two timers double-count.
+    for result in (fast, slow):
+        assert result.perf.other_s >= 0.0
+        assert result.perf.tracked_s <= result.perf.wall_s

@@ -1,6 +1,5 @@
 """Tests for the machine topology model."""
 
-import numpy as np
 import pytest
 
 from repro.errors import TopologyError

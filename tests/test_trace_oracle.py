@@ -1,7 +1,6 @@
 """Tests for trace capture and the oracle analyser."""
 
 import numpy as np
-import pytest
 
 from repro.core.mapping import mapping_comm_cost
 from repro.machine.topology import CommDistance
@@ -82,7 +81,6 @@ class TestOracleMapping:
     def test_uses_ground_truth_by_default(self, machine):
         wl = make_npb("SP")
         mapping = oracle_mapping(wl, machine)
-        gt = wl.ground_truth()
         # chain neighbours end up adjacent in the hierarchy
         for i in range(0, 31, 2):
             d = machine.distance(int(mapping[i]), int(mapping[i + 1]))

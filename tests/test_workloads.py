@@ -6,7 +6,7 @@ import pytest
 from repro.errors import WorkloadError
 from repro.mem.addresspace import AddressSpace
 from repro.units import MSEC, PAGE_SIZE
-from repro.workloads.npb import NPB_SPECS, SyntheticNpbWorkload, make_npb
+from repro.workloads.npb import NPB_SPECS, make_npb
 from repro.workloads.producer_consumer import ProducerConsumerWorkload
 
 
