@@ -26,9 +26,11 @@ from pathlib import Path
 
 import pytest
 
-from repro.engine.gridrunner import ResultCache, run_cell, run_grid
+from repro.engine.cache import ResultCache
+from repro.engine.gridrunner import run_cell, run_grid
 from repro.engine.policies import Policy
 from repro.engine.runner import MetricStats, summarize
+from repro.engine.settings import RunSettings
 from repro.engine.simulator import EngineConfig, SimulationResult, Simulator
 from repro.rng import derive_seed
 from repro.workloads.npb import NPB_SPECS, make_npb
@@ -48,10 +50,9 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 def _result_cache() -> ResultCache | None:
     """The benchmark harness' disk cache (``REPRO_RESULT_CACHE`` override)."""
-    raw = os.environ.get("REPRO_RESULT_CACHE")
-    if raw is not None:
-        raw = raw.strip()
-        return ResultCache(raw) if raw else None
+    if "REPRO_RESULT_CACHE" in os.environ:
+        cache_dir = RunSettings.from_env().cache_dir
+        return ResultCache(cache_dir) if cache_dir else None
     return ResultCache(Path(__file__).parent / ".result_cache")
 
 
@@ -128,7 +129,7 @@ class SuiteCache:
             BENCH_REPS,
             base_seed=BASE_SEED,
             config=engine_config(),
-            cache_dir=self._cache.root if self._cache else None,
+            cache=self._cache,
             keep_runs=True,
         )
         for (bench, policy), cell in grid.cells.items():

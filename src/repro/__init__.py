@@ -19,6 +19,13 @@ Quick start::
     from repro import Simulator, make_npb
     result = Simulator(make_npb("SP"), "spcd", seed=1).run()
     print(result.exec_time_s, result.l3_mpki)
+
+Experiment grids (cached, parallel, fault-tolerant, resumable)::
+
+    from repro import RunSettings, run_grid
+    grid = run_grid(["CG", "SP"], cache="results/",
+                    settings=RunSettings(workers=4, cell_timeout_s=600))
+    print(grid.cell("CG", "spcd").mean("exec_time_s"), grid.failures)
 """
 
 from repro.core import (
@@ -31,10 +38,16 @@ from repro.core import (
     max_weight_perfect_matching,
 )
 from repro.engine import (
+    CellFailure,
     EngineConfig,
+    GridResult,
     Policy,
+    ResultCache,
+    RunSettings,
     SimulationResult,
     Simulator,
+    run_cell,
+    run_grid,
     run_replicated,
     run_single,
 )
@@ -42,17 +55,21 @@ from repro.machine import Machine, build_machine, dual_xeon_e5_2650
 from repro.obs import JsonlRecorder, TraceRecorder
 from repro.workloads import ProducerConsumerWorkload, SyntheticNpbWorkload, make_npb
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CellFailure",
     "CommunicationFilter",
     "CommunicationMatrix",
     "EngineConfig",
+    "GridResult",
     "HierarchicalMapper",
     "JsonlRecorder",
     "Machine",
     "Policy",
     "ProducerConsumerWorkload",
+    "ResultCache",
+    "RunSettings",
     "SimulationResult",
     "Simulator",
     "SpcdConfig",
@@ -64,6 +81,8 @@ __all__ = [
     "dual_xeon_e5_2650",
     "make_npb",
     "max_weight_perfect_matching",
+    "run_cell",
+    "run_grid",
     "run_replicated",
     "run_single",
     "__version__",

@@ -28,7 +28,6 @@ Invariants (checked by :meth:`CoherentHierarchy.check_invariants`):
 
 from __future__ import annotations
 
-import os
 
 import numpy as np
 
@@ -62,8 +61,15 @@ BYPASS_MIN_BATCH = 64
 
 
 def _slow_hierarchy_requested() -> bool:
-    """True when ``REPRO_SLOW_HIERARCHY`` selects the reference engine."""
-    return os.environ.get("REPRO_SLOW_HIERARCHY", "").strip() in ("1", "true", "yes")
+    """True when ``REPRO_SLOW_HIERARCHY`` selects the reference engine.
+
+    Delegates to :class:`repro.engine.settings.RunSettings` — the single
+    home of every ``REPRO_*`` environment read.  (Imported lazily: the
+    engine imports this module.)
+    """
+    from repro.engine.settings import RunSettings
+
+    return RunSettings.from_env().slow_hierarchy
 
 
 def _aslist(values) -> list:

@@ -6,7 +6,9 @@ time, and produces the paper's metrics: execution time, L2/L3 MPKI,
 cache-to-cache transactions, processor and DRAM energy, and SPCD overheads.
 """
 
+from repro.engine.cache import ResultCache, code_version
 from repro.engine.energy import EnergyModel, EnergyParams
+from repro.engine.gridrunner import CellFailure, GridResult, run_cell, run_grid
 from repro.engine.metrics import TimeModel, TimeParams
 from repro.engine.policies import Policy
 from repro.engine.runner import (
@@ -15,18 +17,26 @@ from repro.engine.runner import (
     run_single,
     summarize,
 )
+from repro.engine.settings import RunSettings
 from repro.engine.simulator import EngineConfig, SimulationResult, Simulator
 
 __all__ = [
+    "CellFailure",
     "EnergyModel",
     "EnergyParams",
     "EngineConfig",
+    "GridResult",
     "MetricStats",
     "Policy",
+    "ResultCache",
+    "RunSettings",
     "SimulationResult",
     "Simulator",
     "TimeModel",
     "TimeParams",
+    "code_version",
+    "run_cell",
+    "run_grid",
     "run_replicated",
     "run_single",
     "summarize",

@@ -1,0 +1,172 @@
+"""Grid checkpoint manifests: durable, resumable sweep progress.
+
+A manifest is an append-only JSONL file living alongside the result
+cache.  Its first line is a header binding it to one exact grid (the
+*grid key* — a digest of every cell's content-addressed cache key, which
+already pins workloads, policies, seeds, machine, engine config and
+engine sources); each subsequent line records one cell reaching a
+terminal state (``done`` or ``failed``, with its attempt count).
+
+Durability model: each record is written as **one** ``write`` call and
+flushed (with an ``fsync``) before the runner moves on, so a sweep
+killed at any instant loses at most the record of the cell in flight.  A
+torn final line — the process died mid-``write`` — is skipped on load.
+Because ``done`` is only recorded *after* the cell's result is stored in
+the result cache, a resuming run can trust every ``done`` record to be
+backed by a loadable cached result (and degrades to re-running the cell
+if the cache was pruned behind its back).
+
+Resume semantics (:func:`repro.engine.gridrunner.run_grid`): cells with
+a ``done`` record load from the cache and are not re-run; cells with a
+``failed`` record get a fresh attempt budget; cells with no record run
+normally.  Results are therefore byte-identical to an uninterrupted
+sweep — cells are deterministic functions of their seeds, and the
+manifest only decides *which* cells still need running.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable
+
+__all__ = ["CellRecord", "GridManifest", "grid_key"]
+
+MANIFEST_VERSION = 1
+
+#: terminal cell states
+DONE = "done"
+FAILED = "failed"
+
+
+def grid_key(cell_keys: Iterable[str]) -> str:
+    """Digest identifying one exact grid (order-insensitive over cells)."""
+    h = hashlib.blake2b(digest_size=12)
+    for key in sorted(cell_keys):
+        h.update(key.encode())
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class CellRecord:
+    """One cell's terminal state within a sweep."""
+
+    key: str
+    workload: str
+    policy: str
+    rep: int
+    status: str  # DONE or FAILED
+    attempts: int = 1
+    error: str = ""
+
+
+class GridManifest:
+    """Append-only JSONL checkpoint for one grid's cells.
+
+    Loading is tolerant: malformed lines (torn tails from a killed
+    writer) are skipped, and a header naming a *different* grid resets
+    the file — a stale manifest must never mask real work.  The newest
+    record per cell key wins, so re-running a previously failed cell
+    simply appends its new state.
+    """
+
+    def __init__(self, path: "str | os.PathLike", grid_key: str) -> None:
+        self.path = Path(path)
+        self.grid_key = grid_key
+        self._file = None
+        #: cell key -> newest terminal record (loaded at construction)
+        self.records: dict[str, CellRecord] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        header_ok = False
+        records: dict[str, CellRecord] = {}
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return
+        for i, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a killed writer
+            if i == 0 or obj.get("type") == "manifest":
+                header_ok = (
+                    obj.get("type") == "manifest"
+                    and obj.get("version") == MANIFEST_VERSION
+                    and obj.get("grid_key") == self.grid_key
+                )
+                continue
+            if not header_ok:
+                break
+            try:
+                records[str(obj["key"])] = CellRecord(
+                    key=str(obj["key"]),
+                    workload=str(obj.get("workload", "?")),
+                    policy=str(obj.get("policy", "?")),
+                    rep=int(obj.get("rep", 0)),
+                    status=str(obj.get("status", "")),
+                    attempts=int(obj.get("attempts", 1)),
+                    error=str(obj.get("error", "")),
+                )
+            except (KeyError, TypeError, ValueError):
+                continue
+        if header_ok:
+            self.records = records
+        else:
+            # different grid (or corrupt header): start the file over
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+    def done_keys(self) -> set[str]:
+        """Keys of cells recorded as completed."""
+        return {k for k, r in self.records.items() if r.status == DONE}
+
+    def failed_keys(self) -> set[str]:
+        """Keys of cells recorded as having exhausted their retries."""
+        return {k for k, r in self.records.items() if r.status == FAILED}
+
+    def _append(self, obj: dict) -> None:
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists()
+            self._file = open(self.path, "a", encoding="utf-8")
+            if fresh or self.path.stat().st_size == 0:
+                header = {
+                    "type": "manifest",
+                    "version": MANIFEST_VERSION,
+                    "grid_key": self.grid_key,
+                }
+                self._file.write(json.dumps(header, separators=(",", ":")) + "\n")
+        # one write call per record: a kill can only tear the final line
+        self._file.write(json.dumps(obj, separators=(",", ":")) + "\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def record(self, rec: CellRecord) -> None:
+        """Durably append one terminal cell record."""
+        self.records[rec.key] = rec
+        self._append(asdict(rec))
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "GridManifest":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

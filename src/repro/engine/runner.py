@@ -8,6 +8,7 @@ normalisation against the OS baseline for the figures.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -15,6 +16,7 @@ from scipy import stats as sps
 
 from repro.core.manager import SpcdConfig
 from repro.engine.policies import Policy
+from repro.engine.settings import RunSettings
 from repro.engine.simulator import EngineConfig, SimulationResult, Simulator
 from repro.errors import ConfigurationError
 from repro.machine.topology import Machine
@@ -24,6 +26,9 @@ from repro.workloads.base import Workload
 from typing import Callable
 
 WorkloadFactory = Callable[[], Workload]
+
+#: sentinel distinguishing "not passed" from an explicit ``None``
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -91,6 +96,7 @@ def run_single(
     seed: int = 0,
     config: EngineConfig | None = None,
     spcd_config: SpcdConfig | None = None,
+    settings: "RunSettings | None" = None,
 ) -> SimulationResult:
     """One simulation run (fresh workload instance, derived seed)."""
     sim = Simulator(
@@ -100,6 +106,7 @@ def run_single(
         seed=seed,
         config=config,
         spcd_config=spcd_config,
+        settings=settings,
     )
     return sim.run()
 
@@ -114,8 +121,11 @@ def run_replicated(
     config: EngineConfig | None = None,
     spcd_config: SpcdConfig | None = None,
     keep_runs: bool = False,
-    workers: int | None = None,
-    cache_dir: "str | None" = None,
+    workers: "int | None" = None,
+    cache: "object | None" = None,
+    trace: "object | None" = None,
+    settings: "RunSettings | None" = None,
+    cache_dir=_UNSET,
 ) -> ReplicatedResult:
     """Run *reps* repetitions with derived seeds; summarise every metric.
 
@@ -123,14 +133,31 @@ def run_replicated(
     fresh random mapping, reproducing the paper's "10 different mappings,
     one for each execution".
 
-    With *workers* > 1 or a *cache_dir*, delegates to
+    With *workers* > 1 or a result *cache* (a directory or a live
+    :class:`~repro.engine.cache.ResultCache`), delegates to
     :func:`repro.engine.gridrunner.run_grid` (same seed protocol, so the
-    result is identical to the serial path).
+    result is identical to the serial path) and inherits its fault
+    tolerance: timeouts, retries and checkpointed resume.
+
+    .. deprecated:: 1.1
+       the ``cache_dir=`` keyword; spell it ``cache=``.
     """
     if reps <= 0:
         raise ConfigurationError("reps must be positive")
     policy = Policy.parse(policy)
-    if workers is not None and workers > 1 or cache_dir is not None:
+    if cache_dir is not _UNSET:
+        warnings.warn(
+            "run_replicated(cache_dir=...) is deprecated; "
+            "pass cache=<dir or ResultCache>",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if cache is None:
+            cache = cache_dir
+    if trace is not None:
+        base = settings if settings is not None else RunSettings.from_env()
+        settings = base.with_overrides(trace=str(trace))
+    if (workers is not None and workers > 1) or cache is not None:
         from repro.engine import gridrunner  # local import: gridrunner imports us
 
         grid = gridrunner.run_grid(
@@ -142,7 +169,9 @@ def run_replicated(
             config=config,
             spcd_config=spcd_config,
             workers=workers,
-            cache_dir=cache_dir,
+            cache=cache,
+            trace=trace,
+            settings=settings,
             keep_runs=keep_runs,
         )
         return next(iter(grid.cells.values()))
@@ -157,6 +186,7 @@ def run_replicated(
                 seed=seed,
                 config=config,
                 spcd_config=spcd_config,
+                settings=settings,
             )
         )
     metrics = {

@@ -19,6 +19,7 @@ units require it (energy).  Ratios such as MPKI are scale-free.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from time import perf_counter
 from typing import Callable
 
@@ -32,22 +33,18 @@ from repro.engine.energy import EnergyBreakdown, EnergyModel, EnergyParams
 from repro.engine.metrics import TimeModel, TimeParams
 from repro.engine.perf import PerfCounters
 from repro.engine.policies import Policy, make_scheduler
+from repro.engine.settings import RunSettings
 from repro.errors import ConfigurationError, SimulationError
 from repro.kernelsim.clock import VirtualClock
 from repro.kernelsim.kthread import TimerWheel
 from repro.kernelsim.scheduler import PinnedScheduler
 from repro.machine.topology import Machine, dual_xeon_e5_2650
 from repro.mem.addresspace import AddressSpace
-from repro.mem.fault import FaultPipeline, slow_spcd_requested
+from repro.mem.fault import FaultPipeline
 from repro.mem.physmem import FrameAllocator
 from repro.mem.tlb import TlbArray
 from repro.obs.events import CacheEpoch, FaultBatchSummary, RunEnd, RunStart
-from repro.obs.recorder import (
-    JsonlRecorder,
-    TraceRecorder,
-    run_trace_path,
-    trace_base_from_env,
-)
+from repro.obs.recorder import JsonlRecorder, TraceRecorder, run_trace_path
 from repro.rng import RngFactory
 from repro.units import CACHE_LINE_SHIFT, PAGE_SHIFT
 from repro.workloads.base import Workload
@@ -131,6 +128,7 @@ class Simulator:
         config: EngineConfig | None = None,
         spcd_config: SpcdConfig | None = None,
         recorder: TraceRecorder | None = None,
+        settings: RunSettings | None = None,
     ) -> None:
         self.workload = workload
         self.policy = Policy.parse(policy)
@@ -138,15 +136,20 @@ class Simulator:
         self.config = config or EngineConfig()
         self.seed = seed
         self.rngs = RngFactory(seed)
-        # Tracing: an explicit recorder wins; otherwise REPRO_TRACE enables
-        # a JSONL recorder (a NullRecorder or unset env leaves tracing off,
-        # and the hot paths then pay a single None test per fault batch).
-        if recorder is None:
-            base = trace_base_from_env()
-            if base is not None:
-                recorder = JsonlRecorder(
-                    run_trace_path(base, workload.name, self.policy.value, seed)
+        # Execution-environment knobs (slow reference paths, tracing):
+        # an explicit settings object wins; otherwise the environment
+        # (RunSettings.from_env()) decides, exactly as before.
+        self.settings = settings if settings is not None else RunSettings.from_env()
+        # Tracing: an explicit recorder wins; otherwise the settings' trace
+        # base enables a JSONL recorder (a NullRecorder or no trace base
+        # leaves tracing off, and the hot paths then pay a single None test
+        # per fault batch).
+        if recorder is None and self.settings.trace:
+            recorder = JsonlRecorder(
+                run_trace_path(
+                    Path(self.settings.trace), workload.name, self.policy.value, seed
                 )
+            )
         self.recorder: TraceRecorder | None = recorder if recorder else None
 
         n = workload.n_threads
@@ -165,8 +168,10 @@ class Simulator:
         )
         #: REPRO_SLOW_SPCD=1 keeps the per-fault reference path end to end
         #: (scalar resolution loop + dict detection engine)
-        self._batch_faults = not slow_spcd_requested()
-        self.hierarchy = CoherentHierarchy(self.machine)
+        self._batch_faults = not self.settings.slow_spcd
+        self.hierarchy = CoherentHierarchy(
+            self.machine, fast_path=not self.settings.slow_hierarchy
+        )
         self.time_model = TimeModel(self.machine, params=self.config.time_params)
         self.energy_model = EnergyModel(self.machine, params=self.config.energy_params)
         self.wheel = TimerWheel()

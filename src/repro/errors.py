@@ -41,3 +41,20 @@ class WorkloadError(ReproError):
 
 class SimulationError(ReproError):
     """The execution engine reached an inconsistent state."""
+
+
+class CellExecutionError(SimulationError):
+    """One grid cell could not produce a result after all retry attempts."""
+
+
+class GridExecutionError(SimulationError):
+    """A strict-mode grid sweep had cells that exhausted their retries.
+
+    Carries the typed failure records so callers can inspect exactly which
+    cells failed and why.
+    """
+
+    def __init__(self, message: str, failures: "list | None" = None) -> None:
+        super().__init__(message)
+        #: the sweep's :class:`~repro.engine.gridrunner.CellFailure` records
+        self.failures = list(failures or [])

@@ -23,7 +23,6 @@ observations; ``tests/test_spcd_parity.py`` pins the equivalence.
 from __future__ import annotations
 
 import enum
-import os
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable
@@ -38,8 +37,15 @@ from repro.units import PAGE_SHIFT
 
 
 def slow_spcd_requested() -> bool:
-    """True when ``REPRO_SLOW_SPCD`` selects the reference fault/SPCD path."""
-    return os.environ.get("REPRO_SLOW_SPCD", "").strip() in ("1", "true", "yes")
+    """True when ``REPRO_SLOW_SPCD`` selects the reference fault/SPCD path.
+
+    Delegates to :class:`repro.engine.settings.RunSettings` — the single
+    home of every ``REPRO_*`` environment read.  (Imported lazily: the
+    engine imports this module.)
+    """
+    from repro.engine.settings import RunSettings
+
+    return RunSettings.from_env().slow_spcd
 
 
 class FaultKind(enum.Enum):

@@ -32,7 +32,13 @@ from typing import Any, ClassVar
 
 __all__ = [
     "CacheEpoch",
+    "CellAttemptFailed",
+    "CellCompleted",
+    "CellFailed",
+    "CellRetry",
     "FaultBatchSummary",
+    "GridEnd",
+    "GridStart",
     "InjectorWake",
     "MappingDecision",
     "Migration",
@@ -212,6 +218,111 @@ class RunEnd(TraceEvent):
     perf_other_s: float = 0.0
 
 
+# ---------------------------------------------------------------------------
+# grid reliability events (the sweep scheduler's decision trail)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class GridStart(TraceEvent):
+    """Emitted once per ``run_grid`` invocation, before any cell executes.
+
+    ``resumed_done`` / ``resumed_failed`` count the cells whose terminal
+    state was recovered from the checkpoint manifest — nonzero means this
+    invocation is resuming an interrupted sweep.
+    """
+
+    type: ClassVar[str] = "grid_start"
+
+    grid_key: str
+    workloads: list[str]
+    policies: list[str]
+    reps: int
+    cells: int
+    cached: int
+    resumed_done: int
+    resumed_failed: int
+    to_run: int
+    workers: int
+    #: per-cell timeout in seconds; 0.0 when unbounded
+    timeout_s: float
+    retries: int
+    strict: bool
+
+
+@dataclass(frozen=True)
+class CellAttemptFailed(TraceEvent):
+    """One attempt at a cell ended without a result.
+
+    ``kind`` is ``timeout`` (deadline exceeded, process killed), ``crash``
+    (worker died without delivering a result) or ``error`` (the simulation
+    raised).
+    """
+
+    type: ClassVar[str] = "cell_attempt_failed"
+
+    workload: str
+    policy: str
+    rep: int
+    attempt: int
+    kind: str
+    message: str
+
+
+@dataclass(frozen=True)
+class CellRetry(TraceEvent):
+    """The scheduler requeued a failed cell for another attempt."""
+
+    type: ClassVar[str] = "cell_retry"
+
+    workload: str
+    policy: str
+    rep: int
+    attempt: int
+    backoff_s: float
+
+
+@dataclass(frozen=True)
+class CellCompleted(TraceEvent):
+    """A cell reached a result (freshly simulated, never from the cache)."""
+
+    type: ClassVar[str] = "cell_completed"
+
+    workload: str
+    policy: str
+    rep: int
+    attempts: int
+
+
+@dataclass(frozen=True)
+class CellFailed(TraceEvent):
+    """A cell exhausted its attempt budget (a :class:`CellFailure` entry)."""
+
+    type: ClassVar[str] = "cell_failed"
+
+    workload: str
+    policy: str
+    rep: int
+    attempts: int
+    kind: str
+    message: str
+
+
+@dataclass(frozen=True)
+class GridEnd(TraceEvent):
+    """Emitted once per ``run_grid`` invocation, after the sweep drains."""
+
+    type: ClassVar[str] = "grid_end"
+
+    grid_key: str
+    cells: int
+    cache_hits: int
+    cache_misses: int
+    completed: int
+    failed: int
+    retries: int
+    timeouts: int
+    crashes: int
+
+
 def event_types() -> dict[str, type[TraceEvent]]:
     """``type`` tag -> event class, for deserialising report tooling."""
     return {
@@ -226,5 +337,11 @@ def event_types() -> dict[str, type[TraceEvent]]:
             Migration,
             CacheEpoch,
             RunEnd,
+            GridStart,
+            CellAttemptFailed,
+            CellRetry,
+            CellCompleted,
+            CellFailed,
+            GridEnd,
         )
     }

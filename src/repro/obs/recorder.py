@@ -34,12 +34,10 @@ __all__ = [
     "NULL_RECORDER",
     "TraceRecorder",
     "cell_trace_path",
+    "grid_trace_path",
     "run_trace_path",
     "trace_base_from_env",
 ]
-
-#: environment variable that switches tracing on
-TRACE_ENV = "REPRO_TRACE"
 
 
 class TraceRecorder:
@@ -117,9 +115,16 @@ class JsonlRecorder(TraceRecorder):
 
 
 def trace_base_from_env() -> Path | None:
-    """The ``REPRO_TRACE`` base path, or ``None`` when tracing is off."""
-    raw = os.environ.get(TRACE_ENV, "").strip()
-    return Path(raw) if raw else None
+    """The ``REPRO_TRACE`` base path, or ``None`` when tracing is off.
+
+    Delegates to :class:`repro.engine.settings.RunSettings` — the single
+    home of every ``REPRO_*`` environment read.  (Imported lazily: this
+    module is imported by the engine itself.)
+    """
+    from repro.engine.settings import RunSettings
+
+    trace = RunSettings.from_env().trace
+    return Path(trace) if trace else None
 
 
 def _slug(text: str) -> str:
@@ -148,3 +153,23 @@ def cell_trace_path(base: Path, workload: str, policy: str, rep: int) -> Path:
     if base.suffix == ".jsonl":
         return base.with_name(f"{base.stem}-{name}")
     return base / name
+
+
+def grid_trace_path(base: Path, grid_key: str) -> Path:
+    """Trace file for one ``run_grid`` invocation's reliability events.
+
+    Named after the grid's checkpoint key, with an incrementing suffix so
+    a resumed sweep's events sit beside (never overwrite) the interrupted
+    invocation's.
+    """
+    stem = f"grid-{grid_key[:8]}" if grid_key else "grid"
+    if base.suffix == ".jsonl":
+        directory, prefix = base.parent, f"{base.stem}-{stem}"
+    else:
+        directory, prefix = base, stem
+    n = 0
+    while True:
+        p = directory / (f"{prefix}.jsonl" if n == 0 else f"{prefix}-{n}.jsonl")
+        if not p.exists():
+            return p
+        n += 1

@@ -1,4 +1,4 @@
-"""Reconstruct run-level results from a trace alone.
+"""Reconstruct run-level results — and sweep reliability — from traces.
 
 ``python -m repro.obs.report trace.jsonl [more.jsonl ...] [--json]``
 
@@ -12,6 +12,12 @@ The ``run_end`` summary event is used only for the run's total virtual
 time and as a cross-check: a mismatch between the reconstruction and the
 summary means the trace is incomplete or the instrumentation drifted, and
 is reported as an error.
+
+Grid traces (the ``grid-*.jsonl`` files :func:`repro.engine.gridrunner.run_grid`
+writes under ``REPRO_TRACE``) are summarised the same way: the per-decision
+scheduler events (cell attempts, retries, timeouts, crashes, resume counts)
+are folded into one :class:`GridReport` per invocation and cross-checked
+against the ``grid_end`` summary.
 """
 
 from __future__ import annotations
@@ -26,7 +32,28 @@ from typing import Any, Iterable, Iterator
 
 from repro.errors import ConfigurationError
 
-__all__ = ["RunReport", "iter_events", "load_events", "reconstruct_runs", "main"]
+__all__ = [
+    "GridReport",
+    "RunReport",
+    "grid_report_paths",
+    "iter_events",
+    "load_events",
+    "reconstruct_grids",
+    "reconstruct_runs",
+    "main",
+]
+
+#: event types belonging to the grid scheduler's stream, not to any run
+GRID_EVENT_TYPES = frozenset(
+    {
+        "grid_start",
+        "grid_end",
+        "cell_attempt_failed",
+        "cell_retry",
+        "cell_completed",
+        "cell_failed",
+    }
+)
 
 
 @dataclass
@@ -100,6 +127,142 @@ class RunReport:
         }
 
 
+@dataclass
+class GridReport:
+    """Reliability summary of one ``run_grid`` invocation's trace."""
+
+    grid_key: str = "?"
+    workloads: list[str] = field(default_factory=list)
+    policies: list[str] = field(default_factory=list)
+    reps: int = 0
+    cells: int = 0
+    cached: int = 0
+    #: cells whose terminal state was recovered from the checkpoint manifest
+    resumed_done: int = 0
+    resumed_failed: int = 0
+    to_run: int = 0
+    workers: int = 0
+    timeout_s: float = 0.0
+    retry_budget: int = 0
+    strict: bool = False
+    completed: int = 0
+    #: cells that exhausted their attempt budget, as display strings
+    failed_cells: list[str] = field(default_factory=list)
+    retries: int = 0
+    #: attempt-failure counts by kind (timeout / crash / error)
+    attempt_failures: Counter = field(default_factory=Counter)
+    events: int = 0
+    #: inconsistencies against the grid_end summary (empty = trace is sound)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def failed(self) -> int:
+        """Cells that never produced a result."""
+        return len(self.failed_cells)
+
+    @property
+    def resumed(self) -> bool:
+        """True when this invocation continued an interrupted sweep."""
+        return bool(self.resumed_done or self.resumed_failed)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-friendly view (tagged ``"type": "grid"`` so run and grid
+        entries can share one output list)."""
+        return {
+            "type": "grid",
+            "grid_key": self.grid_key,
+            "workloads": list(self.workloads),
+            "policies": list(self.policies),
+            "reps": self.reps,
+            "cells": self.cells,
+            "cached": self.cached,
+            "resumed_done": self.resumed_done,
+            "resumed_failed": self.resumed_failed,
+            "to_run": self.to_run,
+            "workers": self.workers,
+            "timeout_s": self.timeout_s,
+            "retry_budget": self.retry_budget,
+            "strict": self.strict,
+            "completed": self.completed,
+            "failed": self.failed,
+            "failed_cells": list(self.failed_cells),
+            "retries": self.retries,
+            "attempt_failures": dict(self.attempt_failures),
+            "events": self.events,
+            "errors": list(self.errors),
+        }
+
+
+def reconstruct_grids(events: Iterable[dict[str, Any]]) -> list[GridReport]:
+    """Fold a grid event stream into per-invocation reliability reports.
+
+    A stream may contain several invocations back to back (each bracketed
+    by ``grid_start`` / ``grid_end``, e.g. an interrupted sweep and its
+    resumption); non-grid events are ignored.
+    """
+    grids: list[GridReport] = []
+    grid: GridReport | None = None
+    fresh_completions = 0
+
+    for ev in events:
+        kind = ev.get("type", "?")
+        if kind not in GRID_EVENT_TYPES:
+            continue
+        if kind == "grid_start" or grid is None:
+            grid = GridReport(
+                grid_key=str(ev.get("grid_key", "?")),
+                workloads=[str(w) for w in ev.get("workloads", [])],
+                policies=[str(p) for p in ev.get("policies", [])],
+                reps=int(ev.get("reps", 0)),
+                cells=int(ev.get("cells", 0)),
+                cached=int(ev.get("cached", 0)),
+                resumed_done=int(ev.get("resumed_done", 0)),
+                resumed_failed=int(ev.get("resumed_failed", 0)),
+                to_run=int(ev.get("to_run", 0)),
+                workers=int(ev.get("workers", 0)),
+                timeout_s=float(ev.get("timeout_s", 0.0)),
+                retry_budget=int(ev.get("retries", 0)),
+                strict=bool(ev.get("strict", False)),
+            )
+            grids.append(grid)
+            fresh_completions = 0
+            if kind == "grid_start":
+                grid.events += 1
+                continue
+        grid.events += 1
+        if kind == "cell_attempt_failed":
+            grid.attempt_failures[str(ev.get("kind", "?"))] += 1
+        elif kind == "cell_retry":
+            grid.retries += 1
+        elif kind == "cell_completed":
+            fresh_completions += 1
+        elif kind == "cell_failed":
+            grid.failed_cells.append(
+                f"{ev.get('workload', '?')}/{ev.get('policy', '?')}"
+                f"/rep{ev.get('rep', 0)} after {ev.get('attempts', 0)} attempts "
+                f"({ev.get('kind', '?')}: {ev.get('message', '')})"
+            )
+        elif kind == "grid_end":
+            grid.completed = grid.cached + fresh_completions
+            _cross_check_grid(grid, ev)
+            grid = None
+    return grids
+
+
+def _cross_check_grid(grid: GridReport, end: dict[str, Any]) -> None:
+    """Compare the reconstruction against the grid_end summary."""
+    checks = (
+        ("completed", grid.completed, int(end.get("completed", 0))),
+        ("failed", grid.failed, int(end.get("failed", 0))),
+        ("retries", grid.retries, int(end.get("retries", 0))),
+        ("timeouts", grid.attempt_failures["timeout"], int(end.get("timeouts", 0))),
+        ("crashes", grid.attempt_failures["crash"], int(end.get("crashes", 0))),
+    )
+    for name, got, want in checks:
+        if got != want:
+            grid.errors.append(f"{name}: reconstructed {got!r} != summary {want!r}")
+
+
 def iter_events(path: "str | Path") -> Iterator[dict[str, Any]]:
     """Yield the JSONL events of one trace file."""
     with open(path, "r", encoding="utf-8") as f:
@@ -134,6 +297,8 @@ def reconstruct_runs(events: Iterable[dict[str, Any]]) -> list[RunReport]:
 
     for ev in events:
         kind = ev.get("type", "?")
+        if kind in GRID_EVENT_TYPES:
+            continue  # the sweep scheduler's stream, not part of any run
         if kind == "run_start" or run is None:
             run = RunReport(
                 workload=str(ev.get("workload", "?")),
@@ -203,6 +368,14 @@ def report_paths(paths: Iterable["str | Path"]) -> list[RunReport]:
     return reports
 
 
+def grid_report_paths(paths: Iterable["str | Path"]) -> list[GridReport]:
+    """Reconstruct every grid invocation found in *paths*."""
+    grids: list[GridReport] = []
+    for p in paths:
+        grids.extend(reconstruct_grids(iter_events(p)))
+    return grids
+
+
 def _format_table(reports: list[RunReport]) -> str:
     header = (
         f"{'workload':<14} {'policy':<8} {'migr':>5} {'detect%':>8} "
@@ -222,25 +395,64 @@ def _format_table(reports: list[RunReport]) -> str:
     return "\n".join(lines)
 
 
+def _format_grid_table(grids: list[GridReport]) -> str:
+    lines = ["sweep reliability"]
+    lines.append("-" * len(lines[0]))
+    for g in grids:
+        resumed = (
+            f", resumed ({g.resumed_done} done, {g.resumed_failed} failed)"
+            if g.resumed
+            else ""
+        )
+        timeout = f"{g.timeout_s:g}s" if g.timeout_s else "none"
+        lines.append(
+            f"grid {g.grid_key}: {g.cells} cells ({g.cached} cached, "
+            f"{g.to_run} to run{resumed}) on {g.workers} worker(s), "
+            f"timeout {timeout}, {g.retry_budget} retries"
+        )
+        failures = ", ".join(f"{k} x{n}" for k, n in sorted(g.attempt_failures.items()))
+        lines.append(
+            f"  completed {g.completed}/{g.cells}, failed {g.failed}, "
+            f"retries {g.retries}" + (f" ({failures})" if failures else "")
+        )
+        for cell in g.failed_cells:
+            lines.append(f"  failed: {cell}")
+        for err in g.errors:
+            lines.append(f"  !! {err}")
+    return "\n".join(lines)
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns a process exit status."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
-        description="Reconstruct Table II / Fig. 16 numbers from REPRO_TRACE files.",
+        description="Reconstruct Table II / Fig. 16 numbers — and grid sweep "
+        "reliability — from REPRO_TRACE files.",
     )
     parser.add_argument("traces", nargs="+", type=Path, help="JSONL trace file(s)")
     parser.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     args = parser.parse_args(argv)
 
     reports = report_paths(args.traces)
-    if not reports:
+    grids = grid_report_paths(args.traces)
+    if not reports and not grids:
         print("no runs found in the given traces", file=sys.stderr)
         return 1
     if args.json:
-        print(json.dumps([r.as_dict() for r in reports], indent=2))
+        payload = [r.as_dict() for r in reports] + [g.as_dict() for g in grids]
+        print(json.dumps(payload, indent=2))
     else:
-        print(_format_table(reports))
-    return 1 if any(r.errors for r in reports) else 0
+        sections = []
+        if reports:
+            sections.append(_format_table(reports))
+        if grids:
+            sections.append(_format_grid_table(grids))
+        print("\n\n".join(sections))
+    return (
+        1
+        if any(r.errors for r in reports) or any(g.errors for g in grids)
+        else 0
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI shim

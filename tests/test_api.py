@@ -1,7 +1,9 @@
-"""Public API surface tests: exports resolve, docstrings exist."""
+"""Public API surface tests: exports resolve, docstrings exist, the curated
+surface stays stable, and the deprecated import paths still work (warning)."""
 
 import importlib
 import inspect
+import warnings
 
 import pytest
 
@@ -35,9 +37,69 @@ class TestPackages:
             assert hasattr(mod, symbol), f"{name}.{symbol} missing"
 
 
+#: the curated top-level surface — additions are deliberate, removals break
+#: users; update this snapshot consciously in the same PR as the API change
+TOP_LEVEL_API = {
+    "CellFailure",
+    "CommunicationFilter",
+    "CommunicationMatrix",
+    "EngineConfig",
+    "GridResult",
+    "HierarchicalMapper",
+    "JsonlRecorder",
+    "Machine",
+    "Policy",
+    "ProducerConsumerWorkload",
+    "ResultCache",
+    "RunSettings",
+    "SimulationResult",
+    "Simulator",
+    "SpcdConfig",
+    "SpcdDetector",
+    "SpcdManager",
+    "SyntheticNpbWorkload",
+    "TraceRecorder",
+    "build_machine",
+    "dual_xeon_e5_2650",
+    "make_npb",
+    "max_weight_perfect_matching",
+    "run_cell",
+    "run_grid",
+    "run_replicated",
+    "run_single",
+    "__version__",
+}
+
+ENGINE_API = {
+    "CellFailure",
+    "EnergyModel",
+    "EnergyParams",
+    "EngineConfig",
+    "GridResult",
+    "MetricStats",
+    "Policy",
+    "ResultCache",
+    "RunSettings",
+    "SimulationResult",
+    "Simulator",
+    "TimeModel",
+    "TimeParams",
+    "code_version",
+    "run_cell",
+    "run_grid",
+    "run_replicated",
+    "run_single",
+    "summarize",
+}
+
+
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
+
+    def test_api_surface_snapshot(self):
+        assert set(repro.__all__) == TOP_LEVEL_API
+        assert set(importlib.import_module("repro.engine").__all__) == ENGINE_API
 
     def test_quickstart_symbols_present(self):
         for symbol in ("Simulator", "make_npb", "EngineConfig", "SpcdConfig",
@@ -66,6 +128,52 @@ class TestTopLevel:
                 if not inspect.getdoc(member):
                     undocumented.append(f"{cls.__name__}.{name}")
         assert not undocumented
+
+
+class TestDeprecationShims:
+    """The pre-1.1 import paths and kwargs keep working, with a warning."""
+
+    def test_gridrunner_module_shims_warn_but_resolve(self):
+        from repro.engine import cache, gridrunner, settings
+
+        with pytest.warns(DeprecationWarning, match="moved to repro.engine.cache"):
+            assert gridrunner.ResultCache is cache.ResultCache
+        with pytest.warns(DeprecationWarning, match="moved to repro.engine.cache"):
+            assert gridrunner.code_version is cache.code_version
+        with pytest.warns(DeprecationWarning, match="moved to"):
+            workers = gridrunner.default_workers()
+        assert workers == settings.RunSettings.from_env().workers
+
+    def test_gridrunner_unknown_attribute_still_raises(self):
+        from repro.engine import gridrunner
+
+        with pytest.raises(AttributeError):
+            gridrunner.no_such_symbol
+
+    def test_canonical_names_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.engine.cache import ResultCache, code_version  # noqa: F401
+            from repro.engine.gridrunner import run_cell, run_grid  # noqa: F401
+
+    def test_cache_dir_kwarg_warns_and_works(self, tmp_path):
+        from functools import partial
+
+        from repro.engine.gridrunner import run_cell, run_grid
+        from repro.engine.runner import run_replicated
+        from repro.engine.simulator import EngineConfig
+        from repro.workloads.npb import make_npb
+
+        cfg = EngineConfig(steps=5, batch_size=32)
+        with pytest.warns(DeprecationWarning, match="cache_dir.*deprecated"):
+            run_cell("CG", "os", 0, base_seed=3, config=cfg, cache_dir=tmp_path)
+        with pytest.warns(DeprecationWarning, match="cache_dir.*deprecated"):
+            grid = run_grid(["CG"], ["os"], 1, base_seed=3, config=cfg,
+                            cache_dir=tmp_path)
+        assert grid.cache_hits == 1  # the deprecated spelling hit the same cache
+        with pytest.warns(DeprecationWarning, match="cache_dir.*deprecated"):
+            run_replicated(partial(make_npb, "CG"), "os", reps=1, base_seed=3,
+                           config=cfg, cache_dir=tmp_path)
 
 
 class TestMesiState:

@@ -1,0 +1,357 @@
+"""Fault-injection tests: timeouts, crashes, retries, checkpointed resume.
+
+The killable/hanging shims live at module level so the supervised pool
+(fork start method) can run them in child processes and so the grid
+runner's factory tokens stay stable.  Crash-once shims coordinate across
+attempts through a marker file: the first attempt plants the marker and
+dies hard (``os._exit``, no Python cleanup — exactly what an OOM kill or
+a segfaulting extension looks like to the parent); the retry sees the
+marker and succeeds.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+from functools import partial
+from pathlib import Path
+
+import pytest
+
+from repro.engine import pool
+from repro.engine.checkpoint import DONE, CellRecord, GridManifest, grid_key
+from repro.engine.gridrunner import CellFailure, run_grid
+from repro.engine.settings import RunSettings
+from repro.engine.simulator import EngineConfig
+from repro.errors import ConfigurationError, GridExecutionError
+from repro.obs.report import grid_report_paths
+from repro.workloads.npb import make_npb
+
+CFG = EngineConfig(steps=10, batch_size=64)
+
+
+# ---------------------------------------------------------------------------
+# worker shims (module level: stable identities, fork-safe)
+# ---------------------------------------------------------------------------
+def _double(payload):
+    return payload * 2
+
+
+def _raise_always(payload):
+    raise ValueError(f"bad payload {payload}")
+
+
+def _exit_hard(payload):
+    os._exit(13)
+
+
+def _hang(payload):
+    time.sleep(300)
+
+
+def _crash_once(marker_dir):
+    marker = Path(marker_dir) / "crashed"
+    if not marker.exists():
+        marker.write_text("")
+        os._exit(9)
+    return "recovered"
+
+
+def _flaky_workload(marker_dir, _name="CG"):
+    """Workload factory whose first instantiation kills its worker."""
+    marker = Path(marker_dir) / "crashed"
+    if not marker.exists():
+        marker.write_text("")
+        os._exit(17)
+    return make_npb(_name)
+
+
+def _hanging_workload(marker_dir):
+    """Workload factory that never returns (a wedged simulation)."""
+    time.sleep(300)
+
+
+def _tasks(payloads):
+    return [pool.CellTask(index=i, payload=p) for i, p in enumerate(payloads)]
+
+
+# ---------------------------------------------------------------------------
+# the supervised pool
+# ---------------------------------------------------------------------------
+def test_pool_runs_tasks_in_order():
+    outcomes = pool.run_tasks(_tasks([1, 2, 3, 4, 5]), _double, workers=2)
+    assert all(o.ok and o.attempts == 1 for o in outcomes)
+    assert [o.result for o in outcomes] == [2, 4, 6, 8, 10]
+
+
+def test_pool_validates_arguments():
+    with pytest.raises(ConfigurationError):
+        pool.run_tasks([], _double, workers=0)
+    with pytest.raises(ConfigurationError):
+        pool.run_tasks([], _double, retries=-1)
+
+
+def test_pool_forwards_worker_exceptions_and_exhausts_retries():
+    (outcome,) = pool.run_tasks(
+        _tasks(["x"]), _raise_always, workers=1, retries=1, backoff_s=0.0
+    )
+    assert not outcome.ok
+    assert outcome.attempts == 2  # first try + one retry
+    assert [f.kind for f in outcome.failures] == [pool.ERROR, pool.ERROR]
+    assert "ValueError: bad payload x" in outcome.failures[-1].message
+
+
+def test_pool_detects_crashed_worker_and_recovers(tmp_path):
+    (outcome,) = pool.run_tasks(
+        _tasks([str(tmp_path)]), _crash_once, workers=1, retries=2, backoff_s=0.0
+    )
+    assert outcome.ok and outcome.result == "recovered"
+    assert outcome.attempts == 2
+    assert outcome.failures[0].kind == pool.CRASH
+    assert "exitcode" in outcome.failures[0].message
+
+
+def test_pool_detects_hard_exit_without_result():
+    (outcome,) = pool.run_tasks(
+        _tasks(["x"]), _exit_hard, workers=1, retries=1, backoff_s=0.0
+    )
+    assert not outcome.ok
+    assert [f.kind for f in outcome.failures] == [pool.CRASH, pool.CRASH]
+    assert "13" in outcome.failures[0].message
+
+
+def test_pool_kills_hung_worker_at_deadline():
+    t0 = time.monotonic()
+    (outcome,) = pool.run_tasks(
+        _tasks(["x"]), _hang, workers=1, timeout_s=0.5, retries=0
+    )
+    elapsed = time.monotonic() - t0
+    assert not outcome.ok
+    assert outcome.failures[0].kind == pool.TIMEOUT
+    assert "0.5" in outcome.failures[0].message
+    assert elapsed < 30  # the 300 s sleep was killed, not awaited
+
+
+def test_pool_event_stream_and_exponential_backoff(tmp_path):
+    events = []
+    pool.run_tasks(
+        _tasks(["x"]),
+        _raise_always,
+        workers=1,
+        retries=2,
+        backoff_s=0.01,
+        on_event=lambda kind, task, detail: events.append((kind, dict(detail))),
+    )
+    kinds = [k for k, _ in events]
+    assert kinds == ["error", "retry", "error", "retry", "error", "failed"]
+    backoffs = [d["backoff_s"] for k, d in events if k == "retry"]
+    assert backoffs == [0.01, 0.02]  # backoff_s * 2**(attempt-1)
+    assert events[-1][1]["attempts"] == 3
+
+
+def test_pool_on_result_fires_as_cells_finish():
+    landed = []
+    pool.run_tasks(
+        _tasks([1, 2]),
+        _double,
+        workers=2,
+        on_result=lambda task, result, attempts: landed.append((task.index, result)),
+    )
+    assert sorted(landed) == [(0, 2), (1, 4)]
+
+
+# ---------------------------------------------------------------------------
+# the checkpoint manifest
+# ---------------------------------------------------------------------------
+def test_manifest_roundtrip_and_torn_tail(tmp_path):
+    path = tmp_path / "grid.manifest.jsonl"
+    gkey = grid_key(["aa", "bb"])
+    with GridManifest(path, gkey) as m:
+        m.record(CellRecord(key="aa", workload="CG", policy="os", rep=0, status=DONE))
+    # simulate a writer killed mid-append: a torn, unparseable final line
+    with open(path, "a", encoding="utf-8") as f:
+        f.write('{"key": "bb", "status": "do')
+    reloaded = GridManifest(path, gkey)
+    assert reloaded.done_keys() == {"aa"}  # torn tail skipped, record kept
+
+
+def test_manifest_for_a_different_grid_is_reset(tmp_path):
+    path = tmp_path / "grid.manifest.jsonl"
+    with GridManifest(path, grid_key(["aa"])) as m:
+        m.record(CellRecord(key="aa", workload="CG", policy="os", rep=0, status=DONE))
+    other = GridManifest(path, grid_key(["zz"]))
+    assert other.records == {}
+    assert not path.exists()  # the stale file must never mask real work
+
+
+# ---------------------------------------------------------------------------
+# fault-tolerant grids
+# ---------------------------------------------------------------------------
+def test_grid_recovers_from_worker_crash(tmp_path):
+    """A worker dying mid-cell is respawned; the sweep completes normally."""
+    flaky = ("flaky", partial(_flaky_workload, str(tmp_path)))
+    grid = run_grid(
+        [flaky], ["os"], 1, base_seed=7, config=CFG, workers=2,
+        retry_backoff_s=0.0,
+    )
+    assert grid.ok and grid.failures == []
+    assert grid.crashes == 1 and grid.retries == 1
+    # the recovered result is the result: identical to an undisturbed run
+    clean = run_grid(["CG"], ["os"], 1, base_seed=7, config=CFG, workers=2)
+    assert pickle.dumps(grid.cell("flaky", "os").metrics) == pickle.dumps(
+        clean.cell("CG", "os").metrics
+    )
+
+
+def test_grid_times_out_hung_cell_and_degrades(tmp_path):
+    """An unresponsive cell becomes a typed CellFailure, not a hung sweep."""
+    grid = run_grid(
+        [("hung", partial(_hanging_workload, str(tmp_path)))], ["os"], 1,
+        base_seed=7, config=CFG,
+        cell_timeout_s=0.5, cell_retries=1, retry_backoff_s=0.0,
+    )
+    assert not grid.ok
+    assert grid.cells == {}  # no result for the dead cell ...
+    (failure,) = grid.failures  # ... but a full typed account of it
+    assert isinstance(failure, CellFailure)
+    assert (failure.workload, failure.policy, failure.rep) == ("hung", "os", 0)
+    assert failure.kind == "timeout" and failure.attempts == 2
+    assert len(failure.history) == 2
+    assert grid.timeouts == 2 and grid.retries == 1
+
+
+def test_grid_strict_mode_raises_after_draining(tmp_path):
+    with pytest.raises(GridExecutionError) as exc:
+        run_grid(
+            [("hung", partial(_hanging_workload, str(tmp_path)))], ["os"], 1,
+            base_seed=7, config=CFG,
+            cell_timeout_s=0.5, cell_retries=0, strict=True,
+        )
+    assert len(exc.value.failures) == 1
+    assert exc.value.failures[0].kind == "timeout"
+
+
+def test_grid_settings_object_configures_fault_tolerance(tmp_path):
+    """The same knobs flow through settings=; explicit kwargs beat it."""
+    settings = RunSettings(cell_timeout_s=0.5, cell_retries=0, strict=True)
+    with pytest.raises(GridExecutionError):
+        run_grid(
+            [("hung", partial(_hanging_workload, str(tmp_path)))], ["os"], 1,
+            base_seed=7, config=CFG, settings=settings,
+        )
+    grid = run_grid(
+        [("hung", partial(_hanging_workload, str(tmp_path)))], ["os"], 1,
+        base_seed=7, config=CFG, settings=settings, strict=False,
+    )
+    assert not grid.ok and len(grid.failures) == 1
+
+
+def test_failed_cells_are_recorded_and_get_a_fresh_budget(tmp_path):
+    """A failed cell's manifest record marks resumption, not permanence."""
+    cache = tmp_path / "cache"
+    marker_dir = tmp_path / "markers"
+    marker_dir.mkdir()
+    hung = ("cell", partial(_hanging_workload, str(marker_dir)))
+    first = run_grid(
+        [hung], ["os"], 1, base_seed=7, config=CFG, cache=cache,
+        cell_timeout_s=0.5, cell_retries=0,
+    )
+    assert not first.ok
+    (manifest_path,) = cache.glob("grid-*.manifest.jsonl")
+    assert '"status":"failed"' in manifest_path.read_text()
+    # same grid identity, now with a recoverable factory: the failed cell
+    # is re-attempted (fresh budget), not skipped
+    second = run_grid(
+        [hung], ["os"], 1, base_seed=7, config=CFG, cache=cache,
+        cell_timeout_s=0.5, cell_retries=0,
+    )
+    assert second.cache_hits == 0 and second.cache_misses == 1
+
+
+def test_grid_reliability_events_reach_the_report(tmp_path):
+    """Timeout/retry/failure events land in the grid trace and the report."""
+    trace = tmp_path / "trace"
+    run_grid(
+        [("hung", partial(_hanging_workload, str(tmp_path)))], ["os"], 1,
+        base_seed=7, config=CFG, trace=trace,
+        cell_timeout_s=0.5, cell_retries=1, retry_backoff_s=0.0,
+    )
+    (grid_trace,) = trace.glob("grid-*.jsonl")
+    (report,) = grid_report_paths([grid_trace])
+    assert report.errors == []
+    assert report.completed == 0 and report.failed == 1
+    assert report.retries == 1
+    assert report.attempt_failures == {"timeout": 2}
+    assert "hung/os/rep0" in report.failed_cells[0]
+    assert "timeout" in report.failed_cells[0]
+
+
+# ---------------------------------------------------------------------------
+# kill-and-resume: the tentpole acceptance scenario
+# ---------------------------------------------------------------------------
+_RESUME_GRID_SCRIPT = """\
+import sys
+from repro.engine.gridrunner import run_grid
+from repro.engine.simulator import EngineConfig
+
+run_grid(
+    ["CG"], ["os", "spcd"], 3, base_seed=11,
+    config=EngineConfig(steps=10, batch_size=64), cache=sys.argv[1],
+)
+"""
+
+
+def test_killed_grid_resumes_from_checkpoint_byte_identically(tmp_path):
+    """SIGKILL a sweep mid-flight; re-invoking re-runs only unfinished
+    cells and the aggregate results are byte-identical to an undisturbed
+    sweep."""
+    cache = tmp_path / "cache"
+    env = dict(os.environ, PYTHONPATH="src")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _RESUME_GRID_SCRIPT, str(cache)],
+        cwd=Path(__file__).resolve().parent.parent,
+        env=env,
+    )
+    try:
+        # wait for the first durable checkpoint record, then kill -9
+        deadline = time.monotonic() + 120
+        manifest_path = None
+        while time.monotonic() < deadline:
+            candidates = list(cache.glob("grid-*.manifest.jsonl"))
+            if candidates and '"status":"done"' in candidates[0].read_text():
+                manifest_path = candidates[0]
+                break
+            if proc.poll() is not None:
+                break
+            time.sleep(0.02)
+        assert manifest_path is not None, "no cell checkpointed before the sweep ended"
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    assert proc.returncode != 0, "the sweep must have been killed mid-flight"
+
+    done_before_resume = manifest_path.read_text().count('"status":"done"')
+    assert 1 <= done_before_resume < 6
+
+    resumed = run_grid(
+        ["CG"], ["os", "spcd"], 3, base_seed=11, config=CFG, cache=cache
+    )
+    # only unfinished cells were re-run
+    assert resumed.ok
+    assert resumed.resumed_cells == done_before_resume
+    assert resumed.cache_hits == done_before_resume
+    assert resumed.cache_misses == 6 - done_before_resume
+
+    # ... and the aggregate is byte-identical to an undisturbed sweep
+    pristine = run_grid(
+        ["CG"], ["os", "spcd"], 3, base_seed=11, config=CFG,
+        cache=tmp_path / "cache2",
+    )
+    assert pickle.dumps(
+        {k: v.metrics for k, v in sorted(resumed.cells.items())}
+    ) == pickle.dumps({k: v.metrics for k, v in sorted(pristine.cells.items())})

@@ -9,12 +9,11 @@ from functools import partial
 
 import pytest
 
+from repro.engine.cache import ResultCache, code_version
 from repro.engine.gridrunner import (
-    ResultCache,
     _cell_key,
     _factory_token,
     _resolve_spec,
-    code_version,
     run_cell,
     run_grid,
 )
@@ -81,12 +80,12 @@ def test_lambda_factories_bypass_cache_instead_of_colliding(tmp_path):
     with pytest.warns(UserWarning, match="stable import path"):
         r1, cached1 = run_cell(
             ("wl-a", lambda: make_npb("CG")), "os", 0,
-            base_seed=5, config=CFG, cache_dir=tmp_path,
+            base_seed=5, config=CFG, cache=tmp_path,
         )
     with pytest.warns(UserWarning, match="stable import path"):
         r2, cached2 = run_cell(
             ("wl-b", lambda: make_npb("FT")), "os", 0,
-            base_seed=5, config=CFG, cache_dir=tmp_path,
+            base_seed=5, config=CFG, cache=tmp_path,
         )
     assert (cached1, cached2) == (False, False)
     assert r1.workload != r2.workload  # no cross-served result
@@ -98,7 +97,7 @@ def test_run_grid_with_lambda_factory_warns_and_bypasses_cache(tmp_path):
     with pytest.warns(UserWarning, match="stable import path"):
         grid = run_grid(
             [("wl", lambda: make_npb("CG"))], ["os"], 1,
-            base_seed=2, config=CFG, cache_dir=tmp_path,
+            base_seed=2, config=CFG, cache=tmp_path,
         )
     assert grid.cache_misses == 1 and grid.cache_hits == 0
     assert list(tmp_path.rglob("*.pkl")) == []
@@ -106,7 +105,7 @@ def test_run_grid_with_lambda_factory_warns_and_bypasses_cache(tmp_path):
     with pytest.warns(UserWarning, match="stable import path"):
         mixed = run_grid(
             [("wl", lambda: make_npb("CG")), "FT"], ["os"], 1,
-            base_seed=2, config=CFG, cache_dir=tmp_path,
+            base_seed=2, config=CFG, cache=tmp_path,
         )
     assert mixed.cache_misses == 2
     assert len(list(tmp_path.rglob("*.pkl"))) == 1  # only FT was stored
@@ -196,7 +195,7 @@ def test_run_grid_parallel_matches_serial_runner(tmp_path):
     }
     grid = run_grid(
         ["CG"], ["os", "spcd"], 2,
-        base_seed=11, config=CFG, workers=2, cache_dir=tmp_path,
+        base_seed=11, config=CFG, workers=2, cache=tmp_path,
     )
     assert grid.cache_misses == 4 and grid.cache_hits == 0
     for p, want in serial.items():
@@ -210,21 +209,21 @@ def test_run_grid_parallel_matches_serial_runner(tmp_path):
 
 
 def test_run_grid_second_invocation_fully_cached(tmp_path):
-    first = run_grid(["CG"], ["os"], 2, base_seed=3, config=CFG, cache_dir=tmp_path)
+    first = run_grid(["CG"], ["os"], 2, base_seed=3, config=CFG, cache=tmp_path)
     assert (first.cache_hits, first.cache_misses) == (0, 2)
-    second = run_grid(["CG"], ["os"], 2, base_seed=3, config=CFG, cache_dir=tmp_path)
+    second = run_grid(["CG"], ["os"], 2, base_seed=3, config=CFG, cache=tmp_path)
     assert (second.cache_hits, second.cache_misses) == (2, 0)
     assert pickle.dumps(second.cell("CG", "os").metrics) == pickle.dumps(
         first.cell("CG", "os").metrics
     )
     # different base_seed is a different experiment -> no false sharing
-    third = run_grid(["CG"], ["os"], 2, base_seed=4, config=CFG, cache_dir=tmp_path)
+    third = run_grid(["CG"], ["os"], 2, base_seed=4, config=CFG, cache=tmp_path)
     assert third.cache_misses == 2
 
 
 def test_run_cell_reports_cache_state(tmp_path):
-    r1, cached1 = run_cell("CG", "os", 0, base_seed=5, config=CFG, cache_dir=tmp_path)
-    r2, cached2 = run_cell("CG", "os", 0, base_seed=5, config=CFG, cache_dir=tmp_path)
+    r1, cached1 = run_cell("CG", "os", 0, base_seed=5, config=CFG, cache=tmp_path)
+    r2, cached2 = run_cell("CG", "os", 0, base_seed=5, config=CFG, cache=tmp_path)
     assert (cached1, cached2) == (False, True)
     assert pickle.dumps(r1.stats) == pickle.dumps(r2.stats)
 
@@ -233,7 +232,7 @@ def test_run_replicated_workers_kwarg_is_equivalent(tmp_path):
     plain = run_replicated(partial(make_npb, "IS"), "spcd", reps=2, base_seed=9, config=CFG)
     pooled = run_replicated(
         partial(make_npb, "IS"), "spcd", reps=2, base_seed=9, config=CFG,
-        workers=2, cache_dir=tmp_path,
+        workers=2, cache=tmp_path,
     )
     assert pickle.dumps(pooled.metrics) == pickle.dumps(plain.metrics)
     assert pooled.workload == plain.workload and pooled.policy == plain.policy
@@ -247,7 +246,7 @@ def test_run_grid_validates_inputs():
 
 
 def test_grid_result_accessors(tmp_path):
-    grid = run_grid(["CG"], ["os"], 1, base_seed=2, config=CFG, cache_dir=tmp_path)
+    grid = run_grid(["CG"], ["os"], 1, base_seed=2, config=CFG, cache=tmp_path)
     assert grid.workloads == ["CG"]
     assert grid.cell("CG", "os").policy == "os"
     assert set(grid.by_workload("CG")) == {"os"}

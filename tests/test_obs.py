@@ -85,7 +85,9 @@ def test_trace_path_naming(tmp_path):
 def test_event_types_registry_is_complete():
     kinds = event_types()
     assert {"run_start", "run_end", "fault_batch", "injector_wake", "tlb_shootdown",
-            "spcd_evaluation", "mapping_decision", "migration", "cache_epoch"} == set(kinds)
+            "spcd_evaluation", "mapping_decision", "migration", "cache_epoch",
+            "grid_start", "grid_end", "cell_attempt_failed", "cell_retry",
+            "cell_completed", "cell_failed"} == set(kinds)
 
 
 # ---------------------------------------------------------------------------
@@ -200,29 +202,39 @@ def test_run_grid_writes_per_cell_traces(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_TRACE", str(trace_dir))
     grid = run_grid(
         ["CG"], ["os", "spcd"], 2,
-        base_seed=11, config=CFG, workers=2, cache_dir=cache_dir,
+        base_seed=11, config=CFG, workers=2, cache=cache_dir,
     )
-    files = sorted(p.name for p in trace_dir.glob("*.jsonl"))
-    assert files == [
+    cell_files = sorted(
+        p.name for p in trace_dir.glob("*.jsonl") if not p.name.startswith("grid-")
+    )
+    assert cell_files == [
         "CG-os-rep0.jsonl", "CG-os-rep1.jsonl",
         "CG-spcd-rep0.jsonl", "CG-spcd-rep1.jsonl",
     ]
-    reports = report_paths(sorted(trace_dir.glob("*.jsonl")))
+    # ... and the sweep's reliability events land in their own grid trace
+    grid_files = sorted(p for p in trace_dir.glob("grid-*.jsonl"))
+    assert len(grid_files) == 1
+    grid_events = _events(grid_files[0])
+    assert grid_events[0]["type"] == "grid_start"
+    assert grid_events[-1]["type"] == "grid_end"
+    assert grid_events[-1]["completed"] == 4
+    reports = report_paths(sorted(trace_dir.glob("CG-*.jsonl")))
     assert all(r.errors == [] for r in reports)
     # the traced migration counts aggregate to the grid's Table II cell
     spcd_migrations = [r.migrations for r in reports if r.policy == "spcd"]
     assert sorted(spcd_migrations) == sorted(
         grid.cell("CG", "spcd").metrics["migrations"].values
     )
-    # cached cells don't re-run: a second grid adds no trace files
+    # cached cells don't re-run: a second grid adds no *cell* trace files
+    # (it still records its own grid reliability trace, beside the first)
     for f in trace_dir.glob("*.jsonl"):
         f.unlink()
     second = run_grid(
         ["CG"], ["os", "spcd"], 2,
-        base_seed=11, config=CFG, workers=2, cache_dir=cache_dir,
+        base_seed=11, config=CFG, workers=2, cache=cache_dir,
     )
     assert second.cache_hits == 4
-    assert list(trace_dir.glob("*.jsonl")) == []
+    assert [p for p in trace_dir.glob("*.jsonl") if not p.name.startswith("grid-")] == []
 
 
 def test_run_cell_trace_kwarg(tmp_path):
@@ -239,9 +251,9 @@ def test_run_cell_trace_kwarg(tmp_path):
 def test_trace_config_is_excluded_from_cache_keys(tmp_path):
     cache_dir = tmp_path / "cache"
     r1, cached1 = run_cell("CG", "os", 0, base_seed=5, config=CFG,
-                           cache_dir=cache_dir, trace=tmp_path / "a")
+                           cache=cache_dir, trace=tmp_path / "a")
     r2, cached2 = run_cell("CG", "os", 0, base_seed=5, config=CFG,
-                           cache_dir=cache_dir, trace=tmp_path / "b")
+                           cache=cache_dir, trace=tmp_path / "b")
     assert (cached1, cached2) == (False, True)
     # the cached hit did not re-run, so no second trace was written
     assert list((tmp_path / "a").glob("*.jsonl")) != []

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Lint: every ``REPRO_*`` environment read must live in engine/settings.py.
+
+The run-time configuration surface is consolidated in
+:class:`repro.engine.settings.RunSettings`; scattered ``os.environ`` reads
+of ``REPRO_*`` variables are how the pre-1.1 codebase drifted into three
+subtly different boolean parsers.  This script walks the package's ASTs
+and fails if any module other than the allowed ones touches ``os.environ``
+(or ``os.getenv``) with a ``REPRO_``-prefixed key — or at all, since the
+package defines no other environment variables.
+
+Usage: ``python tools/check_env_reads.py [src/repro]``
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: modules allowed to read the environment (relative to the scanned root)
+ALLOWED = {
+    "engine/settings.py",
+}
+
+
+def _is_os_environ(node: ast.AST) -> bool:
+    """True for ``os.environ`` / ``os.getenv`` / bare ``environ``/``getenv``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("environ", "getenv") and (
+            isinstance(node.value, ast.Name) and node.value.id == "os"
+        )
+    if isinstance(node, ast.Name):
+        return node.id in ("environ", "getenv")
+    return False
+
+
+def check_file(path: Path, rel: str) -> list[str]:
+    """Return one violation string per offending environment read."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    violations = []
+    for node in ast.walk(tree):
+        hit = None
+        if isinstance(node, ast.Subscript) and _is_os_environ(node.value):
+            hit = "os.environ[...]"
+        elif isinstance(node, ast.Call) and _is_os_environ(node.func):
+            hit = "os.getenv(...)" if getattr(node.func, "attr", "") == "getenv" else None
+            if hit is None and _is_os_environ(node.func):
+                hit = "environment read"
+        elif isinstance(node, ast.Attribute) and _is_os_environ(node):
+            # covers os.environ.get(...), `for k in os.environ`, etc.
+            hit = f"os.{node.attr}"
+        if hit is not None:
+            violations.append(f"{rel}:{node.lineno}: {hit}")
+    return violations
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    root = Path(args[0]) if args else Path(__file__).resolve().parent.parent / "src" / "repro"
+    if not root.is_dir():
+        print(f"no such directory: {root}", file=sys.stderr)
+        return 2
+    bad: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if rel in ALLOWED:
+            continue
+        bad.extend(check_file(path, rel))
+    if bad:
+        print(
+            "environment reads outside repro.engine.settings "
+            "(route them through RunSettings.from_env()):",
+            file=sys.stderr,
+        )
+        for v in bad:
+            print(f"  {v}", file=sys.stderr)
+        return 1
+    print(f"ok: no stray environment reads under {root}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
