@@ -55,7 +55,7 @@ from repro.machine import Machine, build_machine, dual_xeon_e5_2650
 from repro.obs import JsonlRecorder, TraceRecorder
 from repro.workloads import ProducerConsumerWorkload, SyntheticNpbWorkload, make_npb
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CellFailure",

@@ -68,6 +68,26 @@ class CommunicationMatrix:
         np.add.at(self._m, (i, partners), 1.0)
         np.add.at(self._m, (partners, i), 1.0)
 
+    def merge(self, other: "CommunicationMatrix", scale: float = 1.0) -> "CommunicationMatrix":
+        """Accumulate *other* into this matrix in place; returns ``self``.
+
+        ``self[i, j] += scale * other[i, j]`` for every cell.  This is the
+        shard-reduction primitive: a detection pipeline split across shards
+        (each owning a disjoint slice of the sharing table, as in
+        :mod:`repro.serve.session`) folds its per-shard matrices into one
+        aggregate with repeated merges.  For integer-valued matrices the
+        result is exact and therefore independent of merge order — merging
+        shards in any order produces bit-identical aggregates (pinned by
+        ``tests/test_commmatrix.py``).
+        """
+        if other.n != self.n:
+            raise ConfigurationError("matrices must have the same size")
+        if scale == 1.0:
+            self._m += other._m
+        else:
+            self._m += scale * other._m
+        return self
+
     def decay(self, factor: float) -> None:
         """Multiply everything by *factor* (aging for dynamic detection)."""
         if not 0.0 <= factor <= 1.0:

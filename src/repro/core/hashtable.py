@@ -214,7 +214,30 @@ class ArrayShareTable:
                 partners.extend(js)
                 windowed_out += wout
             return np.asarray(partners, dtype=np.int64), windowed_out
-        slots = self.slots_of(regions)
+        return self.touch_batch_at(self.slots_of(regions), regions, tid, now_ns, window_ns)
+
+    def touch_batch_at(
+        self,
+        slots: np.ndarray,
+        regions: np.ndarray,
+        tid: int,
+        now_ns: int,
+        window_ns: int,
+    ) -> tuple[np.ndarray, int]:
+        """:meth:`touch_batch` with the slot of each region precomputed.
+
+        A sharded deployment (:mod:`repro.serve.session`) hashes regions
+        against the *logical* table once, partitions them across shard
+        tables, and hands each shard its local slot indices — so the
+        partition is a slice of the single-table slot space and collisions,
+        inserts and communication events stay bit-identical to an unsharded
+        table of the logical size.  *slots* must be what the table's own
+        hash would produce for an unsharded table, or any consistent
+        partition of it; members colliding on a slot within the batch are
+        replayed scalarly in fault order, exactly as in :meth:`touch_batch`.
+        """
+        regions = np.asarray(regions, dtype=np.int64)
+        slots = np.asarray(slots, dtype=np.int64)
         _, inverse, counts = np.unique(slots, return_inverse=True, return_counts=True)
         dup = counts[inverse] > 1
         if not dup.any():

@@ -35,6 +35,19 @@ from repro.obs.recorder import TraceRecorder
 from repro.units import MSEC, PAGE_SIZE
 
 
+def matrix_digest(matrix) -> str:
+    """Short content digest of a communication matrix (trace audit anchor).
+
+    BLAKE2b over the raw float64 payload, 8-byte digest — the format every
+    trace event (:class:`~repro.obs.events.SpcdEvaluation`, the serve
+    layer's evaluation events) uses, so digests from any pipeline that
+    detected the same matrix compare equal byte for byte.
+    """
+    return hashlib.blake2b(
+        np.ascontiguousarray(matrix.matrix).tobytes(), digest_size=8
+    ).hexdigest()
+
+
 @dataclass
 class SpcdConfig:
     """Tunables of the full SPCD mechanism (defaults follow Table I)."""
@@ -275,9 +288,7 @@ class SpcdManager:
     @staticmethod
     def _matrix_digest(matrix) -> str:
         """Short content digest of the matrix snapshot (trace audit anchor)."""
-        return hashlib.blake2b(
-            np.ascontiguousarray(matrix.matrix).tobytes(), digest_size=8
-        ).hexdigest()
+        return matrix_digest(matrix)
 
     # -- reporting ---------------------------------------------------------------
     @property

@@ -28,6 +28,14 @@ __all__ = [
     "ENV_GRID_WORKERS",
     "ENV_RESULT_CACHE",
     "ENV_RETRY_BACKOFF",
+    "ENV_SERVE_CREDIT_WINDOW",
+    "ENV_SERVE_EVAL_EVERY",
+    "ENV_SERVE_HOST",
+    "ENV_SERVE_MAX_SESSIONS",
+    "ENV_SERVE_MAX_TABLE_MB",
+    "ENV_SERVE_METRICS_PORT",
+    "ENV_SERVE_PORT",
+    "ENV_SERVE_SHARDS",
     "ENV_SLOW_HIERARCHY",
     "ENV_SLOW_SPCD",
     "ENV_TRACE",
@@ -53,6 +61,22 @@ ENV_CELL_RETRIES = "REPRO_CELL_RETRIES"
 ENV_RETRY_BACKOFF = "REPRO_RETRY_BACKOFF_S"
 #: strict mode: a cell that exhausts retries fails the whole sweep
 ENV_GRID_STRICT = "REPRO_GRID_STRICT"
+#: mapping-service bind address
+ENV_SERVE_HOST = "REPRO_SERVE_HOST"
+#: mapping-service port (0 = ephemeral, printed on stdout at startup)
+ENV_SERVE_PORT = "REPRO_SERVE_PORT"
+#: plaintext /metrics HTTP port (unset = disabled, 0 = ephemeral)
+ENV_SERVE_METRICS_PORT = "REPRO_SERVE_METRICS_PORT"
+#: maximum concurrently admitted sessions
+ENV_SERVE_MAX_SESSIONS = "REPRO_SERVE_MAX_SESSIONS"
+#: per-tenant detection-state memory cap, MiB
+ENV_SERVE_MAX_TABLE_MB = "REPRO_SERVE_MAX_TABLE_MB"
+#: sharing-table shards per session
+ENV_SERVE_SHARDS = "REPRO_SERVE_SHARDS"
+#: events between two mapping evaluations of a session
+ENV_SERVE_EVAL_EVERY = "REPRO_SERVE_EVAL_EVERY"
+#: credit window granted to each client, in events
+ENV_SERVE_CREDIT_WINDOW = "REPRO_SERVE_CREDIT_WINDOW"
 
 _TRUE = ("1", "true", "yes", "on")
 _FALSE = ("", "0", "false", "no", "off")
@@ -132,6 +156,23 @@ class RunSettings:
     #: :class:`~repro.errors.GridExecutionError` instead of degrading to a
     #: :class:`~repro.engine.gridrunner.CellFailure` entry
     strict: bool = False
+    #: mapping-service bind address (``python -m repro.serve``)
+    serve_host: str = "127.0.0.1"
+    #: mapping-service port; 0 binds an ephemeral port
+    serve_port: int = 0
+    #: plaintext ``/metrics`` HTTP port; ``None`` disables the listener,
+    #: 0 binds an ephemeral port
+    serve_metrics_port: "int | None" = None
+    #: maximum concurrently admitted serve sessions
+    serve_max_sessions: int = 64
+    #: per-tenant detection-state memory cap in MiB
+    serve_max_table_mb: float = 64.0
+    #: sharing-table shards per serve session
+    serve_shards: int = 4
+    #: events between two mapping evaluations of a serve session
+    serve_eval_every: int = 8192
+    #: per-client send window, in events (credit-based backpressure)
+    serve_credit_window: int = 65536
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -142,6 +183,20 @@ class RunSettings:
             raise ConfigurationError("cell_retries must be >= 0")
         if self.retry_backoff_s < 0:
             raise ConfigurationError("retry_backoff_s must be >= 0")
+        if not 0 <= self.serve_port <= 65535:
+            raise ConfigurationError("serve_port must be in [0, 65535]")
+        if self.serve_metrics_port is not None and not 0 <= self.serve_metrics_port <= 65535:
+            raise ConfigurationError("serve_metrics_port must be in [0, 65535] (or None)")
+        if self.serve_max_sessions < 1:
+            raise ConfigurationError("serve_max_sessions must be >= 1")
+        if self.serve_max_table_mb <= 0:
+            raise ConfigurationError("serve_max_table_mb must be positive")
+        if self.serve_shards < 1:
+            raise ConfigurationError("serve_shards must be >= 1")
+        if self.serve_eval_every < 1:
+            raise ConfigurationError("serve_eval_every must be >= 1")
+        if self.serve_credit_window < 1:
+            raise ConfigurationError("serve_credit_window must be >= 1")
 
     @classmethod
     def from_env(cls, environ: "dict[str, str] | None" = None) -> "RunSettings":
@@ -177,6 +232,18 @@ class RunSettings:
             cell_retries=_env_int(environ, ENV_CELL_RETRIES, 2),
             retry_backoff_s=_env_float(environ, ENV_RETRY_BACKOFF, 0.25) or 0.0,
             strict=_env_bool(environ, ENV_GRID_STRICT),
+            serve_host=_get(environ, ENV_SERVE_HOST) or "127.0.0.1",
+            serve_port=_env_int(environ, ENV_SERVE_PORT, 0),
+            serve_metrics_port=(
+                _env_int(environ, ENV_SERVE_METRICS_PORT, 0)
+                if _get(environ, ENV_SERVE_METRICS_PORT)
+                else None
+            ),
+            serve_max_sessions=_env_int(environ, ENV_SERVE_MAX_SESSIONS, 64),
+            serve_max_table_mb=_env_float(environ, ENV_SERVE_MAX_TABLE_MB, 64.0) or 64.0,
+            serve_shards=_env_int(environ, ENV_SERVE_SHARDS, 4),
+            serve_eval_every=_env_int(environ, ENV_SERVE_EVAL_EVERY, 8192),
+            serve_credit_window=_env_int(environ, ENV_SERVE_CREDIT_WINDOW, 65536),
         )
 
     def with_overrides(self, **overrides: object) -> "RunSettings":

@@ -43,6 +43,26 @@ class SimulationError(ReproError):
     """The execution engine reached an inconsistent state."""
 
 
+class ServeError(ReproError):
+    """The mapping service or its client reached an inconsistent state."""
+
+
+class ProtocolError(ServeError):
+    """A malformed or out-of-sequence frame arrived on a serve connection."""
+
+
+class AdmissionError(ServeError):
+    """The server refused a session (capacity or per-tenant memory caps).
+
+    Carries the machine-readable refusal ``code`` the server sent
+    (``draining``, ``at-capacity``, ``too-large``, ``bad-hello``).
+    """
+
+    def __init__(self, message: str, code: str = "refused") -> None:
+        super().__init__(message)
+        self.code = code
+
+
 class CellExecutionError(SimulationError):
     """One grid cell could not produce a result after all retry attempts."""
 

@@ -44,6 +44,11 @@ __all__ = [
     "Migration",
     "RunEnd",
     "RunStart",
+    "ServeEnd",
+    "ServeEvaluation",
+    "ServeSessionEnd",
+    "ServeSessionStart",
+    "ServeStart",
     "SpcdEvaluation",
     "TlbShootdown",
     "TraceEvent",
@@ -219,6 +224,103 @@ class RunEnd(TraceEvent):
 
 
 # ---------------------------------------------------------------------------
+# mapping-service events (the serve daemon's decision trail)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServeStart(TraceEvent):
+    """Emitted once when the mapping service starts listening."""
+
+    type: ClassVar[str] = "serve_start"
+
+    host: str
+    port: int
+    machine: str
+    max_sessions: int
+    max_table_mb: float
+    shards: int
+
+
+@dataclass(frozen=True)
+class ServeSessionStart(TraceEvent):
+    """A tenant session was admitted (post-HELLO, pre-WELCOME)."""
+
+    type: ClassVar[str] = "serve_session_start"
+
+    tenant: str
+    session_id: int
+    n_threads: int
+    table_size: int
+    shards: int
+    eval_every_events: int
+    memory_bytes: int
+
+
+@dataclass(frozen=True)
+class ServeEvaluation(TraceEvent):
+    """One session evaluation tick: the serve twin of :class:`SpcdEvaluation`.
+
+    ``verdict`` uses the same vocabulary; ``matrix_digest`` is the digest of
+    the shard-merged matrix the decision was computed from, which must match
+    the offline replay of the same stream bit for bit.  ``mapping`` is only
+    present for ``migrated`` verdicts.
+    """
+
+    type: ClassVar[str] = "serve_evaluation"
+
+    tenant: str
+    session_id: int
+    evaluation: int
+    events_seen: int
+    comm_events: int
+    verdict: str
+    matrix_digest: str
+    mapping: "list[int] | None" = None
+
+
+@dataclass(frozen=True)
+class ServeSessionEnd(TraceEvent):
+    """A session finished draining; its final matrix digest is flushed here.
+
+    ``reason`` is ``bye`` (client finished), ``disconnect`` (EOF without
+    BYE), ``error`` (protocol violation) or ``drain`` (server shutdown).
+    """
+
+    type: ClassVar[str] = "serve_session_end"
+
+    tenant: str
+    session_id: int
+    reason: str
+    events: int
+    batches: int
+    comm_events: int
+    windowed_out: int
+    evaluations: int
+    remaps: int
+    matrix_digest: str
+    mapping: list[int] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class ServeEnd(TraceEvent):
+    """Emitted once when the service exits (after every session drained).
+
+    ``metrics`` is the :meth:`~repro.serve.metrics.MetricsRegistry.snapshot`
+    dump — the bridge that folds live service metrics into
+    ``python -m repro.obs.report``.
+    """
+
+    type: ClassVar[str] = "serve_end"
+
+    reason: str
+    sessions_served: int
+    sessions_refused: int
+    events_total: int
+    batches_total: int
+    remaps_total: int
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
 # grid reliability events (the sweep scheduler's decision trail)
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -337,6 +439,11 @@ def event_types() -> dict[str, type[TraceEvent]]:
             Migration,
             CacheEpoch,
             RunEnd,
+            ServeStart,
+            ServeSessionStart,
+            ServeEvaluation,
+            ServeSessionEnd,
+            ServeEnd,
             GridStart,
             CellAttemptFailed,
             CellRetry,

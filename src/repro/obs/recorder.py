@@ -36,6 +36,7 @@ __all__ = [
     "cell_trace_path",
     "grid_trace_path",
     "run_trace_path",
+    "serve_trace_path",
     "trace_base_from_env",
 ]
 
@@ -153,6 +154,17 @@ def cell_trace_path(base: Path, workload: str, policy: str, rep: int) -> Path:
     if base.suffix == ".jsonl":
         return base.with_name(f"{base.stem}-{name}")
     return base / name
+
+
+def serve_trace_path(base: Path) -> Path:
+    """Trace file for one ``python -m repro.serve`` daemon run.
+
+    A ``.jsonl`` *base* is used verbatim; otherwise *base* is a directory
+    and the daemon writes ``serve.jsonl`` inside it.
+    """
+    if base.suffix == ".jsonl":
+        return base
+    return base / "serve.jsonl"
 
 
 def grid_trace_path(base: Path, grid_key: str) -> Path:

@@ -35,11 +35,14 @@ from repro.errors import ConfigurationError
 __all__ = [
     "GridReport",
     "RunReport",
+    "ServeReport",
     "grid_report_paths",
     "iter_events",
     "load_events",
     "reconstruct_grids",
     "reconstruct_runs",
+    "reconstruct_serves",
+    "serve_report_paths",
     "main",
 ]
 
@@ -52,6 +55,17 @@ GRID_EVENT_TYPES = frozenset(
         "cell_retry",
         "cell_completed",
         "cell_failed",
+    }
+)
+
+#: event types belonging to the mapping daemon's stream, not to any run
+SERVE_EVENT_TYPES = frozenset(
+    {
+        "serve_start",
+        "serve_session_start",
+        "serve_evaluation",
+        "serve_session_end",
+        "serve_end",
     }
 )
 
@@ -193,6 +207,114 @@ class GridReport:
         }
 
 
+@dataclass
+class ServeReport:
+    """Summary of one mapping-daemon lifetime (serve_start .. serve_end)."""
+
+    host: str = "?"
+    port: int = 0
+    machine: str = "?"
+    max_sessions: int = 0
+    shards: int = 0
+    reason: str = "?"
+    #: serve_session_end payloads, in drain order
+    sessions: list[dict[str, Any]] = field(default_factory=list)
+    sessions_refused: int = 0
+    #: evaluation verdict counts across every session
+    verdicts: Counter = field(default_factory=Counter)
+    events_total: int = 0
+    batches_total: int = 0
+    remaps_total: int = 0
+    #: the ServeEnd metrics snapshot (live-registry fold)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    events: int = 0
+    #: inconsistencies against the serve_end summary (empty = trace is sound)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def sessions_served(self) -> int:
+        """Sessions that were admitted and drained."""
+        return len(self.sessions)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-friendly view (tagged ``"type": "serve"``)."""
+        return {
+            "type": "serve",
+            "host": self.host,
+            "port": self.port,
+            "machine": self.machine,
+            "max_sessions": self.max_sessions,
+            "shards": self.shards,
+            "reason": self.reason,
+            "sessions_served": self.sessions_served,
+            "sessions_refused": self.sessions_refused,
+            "sessions": list(self.sessions),
+            "verdicts": dict(self.verdicts),
+            "events_total": self.events_total,
+            "batches_total": self.batches_total,
+            "remaps_total": self.remaps_total,
+            "metrics": dict(self.metrics),
+            "events": self.events,
+            "errors": list(self.errors),
+        }
+
+
+def reconstruct_serves(events: Iterable[dict[str, Any]]) -> list[ServeReport]:
+    """Fold a serve event stream into per-daemon-lifetime reports.
+
+    Totals are rebuilt from the per-session ``serve_session_end`` events
+    and cross-checked against the ``serve_end`` summary; non-serve events
+    are ignored.
+    """
+    serves: list[ServeReport] = []
+    serve: ServeReport | None = None
+
+    for ev in events:
+        kind = ev.get("type", "?")
+        if kind not in SERVE_EVENT_TYPES:
+            continue
+        if kind == "serve_start" or serve is None:
+            serve = ServeReport(
+                host=str(ev.get("host", "?")),
+                port=int(ev.get("port", 0)),
+                machine=str(ev.get("machine", "?")),
+                max_sessions=int(ev.get("max_sessions", 0)),
+                shards=int(ev.get("shards", 0)),
+            )
+            serves.append(serve)
+            if kind == "serve_start":
+                serve.events += 1
+                continue
+        serve.events += 1
+        if kind == "serve_evaluation":
+            serve.verdicts[str(ev.get("verdict", "?"))] += 1
+        elif kind == "serve_session_end":
+            session = {k: v for k, v in ev.items() if k != "type"}
+            serve.sessions.append(session)
+            serve.events_total += int(ev.get("events", 0))
+            serve.batches_total += int(ev.get("batches", 0))
+            serve.remaps_total += int(ev.get("remaps", 0))
+        elif kind == "serve_end":
+            serve.reason = str(ev.get("reason", "?"))
+            serve.sessions_refused = int(ev.get("sessions_refused", 0))
+            serve.metrics = dict(ev.get("metrics", {}))
+            _cross_check_serve(serve, ev)
+            serve = None
+    return serves
+
+
+def _cross_check_serve(serve: ServeReport, end: dict[str, Any]) -> None:
+    """Compare the per-session reconstruction against the serve_end summary."""
+    checks = (
+        ("sessions_served", serve.sessions_served, int(end.get("sessions_served", 0))),
+        ("events_total", serve.events_total, int(end.get("events_total", 0))),
+        ("batches_total", serve.batches_total, int(end.get("batches_total", 0))),
+    )
+    for name, got, want in checks:
+        if got != want:
+            serve.errors.append(f"{name}: reconstructed {got!r} != summary {want!r}")
+
+
 def reconstruct_grids(events: Iterable[dict[str, Any]]) -> list[GridReport]:
     """Fold a grid event stream into per-invocation reliability reports.
 
@@ -297,8 +419,8 @@ def reconstruct_runs(events: Iterable[dict[str, Any]]) -> list[RunReport]:
 
     for ev in events:
         kind = ev.get("type", "?")
-        if kind in GRID_EVENT_TYPES:
-            continue  # the sweep scheduler's stream, not part of any run
+        if kind in GRID_EVENT_TYPES or kind in SERVE_EVENT_TYPES:
+            continue  # scheduler/daemon streams, not part of any run
         if kind == "run_start" or run is None:
             run = RunReport(
                 workload=str(ev.get("workload", "?")),
@@ -376,6 +498,14 @@ def grid_report_paths(paths: Iterable["str | Path"]) -> list[GridReport]:
     return grids
 
 
+def serve_report_paths(paths: Iterable["str | Path"]) -> list[ServeReport]:
+    """Reconstruct every mapping-daemon lifetime found in *paths*."""
+    serves: list[ServeReport] = []
+    for p in paths:
+        serves.extend(reconstruct_serves(iter_events(p)))
+    return serves
+
+
 def _format_table(reports: list[RunReport]) -> str:
     header = (
         f"{'workload':<14} {'policy':<8} {'migr':>5} {'detect%':>8} "
@@ -422,6 +552,41 @@ def _format_grid_table(grids: list[GridReport]) -> str:
     return "\n".join(lines)
 
 
+def _format_serve_table(serves: list[ServeReport]) -> str:
+    lines = ["mapping service"]
+    lines.append("-" * len(lines[0]))
+    for s in serves:
+        lines.append(
+            f"serve {s.host}:{s.port} on {s.machine} "
+            f"({s.shards} shards/session, cap {s.max_sessions}): "
+            f"{s.sessions_served} sessions, {s.sessions_refused} refused, "
+            f"exit reason {s.reason}"
+        )
+        verdicts = ", ".join(f"{k} x{n}" for k, n in sorted(s.verdicts.items()))
+        lines.append(
+            f"  {s.events_total} events in {s.batches_total} batches, "
+            f"{s.remaps_total} remaps" + (f" ({verdicts})" if verdicts else "")
+        )
+        header = (
+            f"  {'tenant':<14} {'reason':<10} {'events':>9} {'comm':>9} "
+            f"{'evals':>6} {'remaps':>6}  {'digest':<16}"
+        )
+        lines.append(header)
+        for sess in s.sessions:
+            lines.append(
+                f"  {str(sess.get('tenant', '?')):<14.14} "
+                f"{str(sess.get('reason', '?')):<10.10} "
+                f"{int(sess.get('events', 0)):>9d} "
+                f"{int(sess.get('comm_events', 0)):>9d} "
+                f"{int(sess.get('evaluations', 0)):>6d} "
+                f"{int(sess.get('remaps', 0)):>6d}  "
+                f"{str(sess.get('matrix_digest', '?')):<16}"
+            )
+        for err in s.errors:
+            lines.append(f"  !! {err}")
+    return "\n".join(lines)
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns a process exit status."""
     parser = argparse.ArgumentParser(
@@ -435,11 +600,16 @@ def main(argv: "list[str] | None" = None) -> int:
 
     reports = report_paths(args.traces)
     grids = grid_report_paths(args.traces)
-    if not reports and not grids:
+    serves = serve_report_paths(args.traces)
+    if not reports and not grids and not serves:
         print("no runs found in the given traces", file=sys.stderr)
         return 1
     if args.json:
-        payload = [r.as_dict() for r in reports] + [g.as_dict() for g in grids]
+        payload = (
+            [r.as_dict() for r in reports]
+            + [g.as_dict() for g in grids]
+            + [s.as_dict() for s in serves]
+        )
         print(json.dumps(payload, indent=2))
     else:
         sections = []
@@ -447,10 +617,14 @@ def main(argv: "list[str] | None" = None) -> int:
             sections.append(_format_table(reports))
         if grids:
             sections.append(_format_grid_table(grids))
+        if serves:
+            sections.append(_format_serve_table(serves))
         print("\n\n".join(sections))
     return (
         1
-        if any(r.errors for r in reports) or any(g.errors for g in grids)
+        if any(r.errors for r in reports)
+        or any(g.errors for g in grids)
+        or any(s.errors for s in serves)
         else 0
     )
 

@@ -28,18 +28,23 @@ def matrix_from_trace(trace: TraceCollector, n_threads: int) -> CommunicationMat
 
     For every page accessed by two or more threads, each pair of accessing
     threads communicates by the smaller of their access counts (the number
-    of pairable producer/consumer events on that page).
+    of pairable producer/consumer events on that page).  Each page
+    contributes ``np.minimum.outer`` of its nonzero count vector in one
+    accumulate — no per-pair Python loop — and the per-page contributions
+    are folded into the result with a single
+    :meth:`~repro.core.commmatrix.CommunicationMatrix.merge`; both steps
+    are exact for integer counts, so the result is bit-identical to the
+    per-pair reference (pinned by ``tests/test_trace_oracle.py``).
     """
-    matrix = CommunicationMatrix(n_threads)
+    acc = np.zeros((n_threads, n_threads), dtype=np.float64)
     for _page, counts in trace.page_access_counts(n_threads).items():
         tids = np.flatnonzero(counts)
         if tids.size < 2:
             continue
-        for a in range(tids.size):
-            for b in range(a + 1, tids.size):
-                i, j = int(tids[a]), int(tids[b])
-                matrix.add(i, j, float(min(counts[i], counts[j])))
-    return matrix
+        active = counts[tids].astype(np.float64)
+        acc[np.ix_(tids, tids)] += np.minimum.outer(active, active)
+    np.fill_diagonal(acc, 0.0)
+    return CommunicationMatrix(n_threads).merge(CommunicationMatrix(n_threads, acc))
 
 
 def matrix_from_ground_truth(workload: Workload) -> CommunicationMatrix:

@@ -1,0 +1,385 @@
+"""Clients of the mapping service (blocking-socket and asyncio) + a
+deterministic synthetic fault-stream generator for tests and benchmarks.
+
+Both clients implement the credit protocol faithfully: a send blocks (or
+awaits) until the window covers the batch, and every received frame is
+dispatched through one handler — CREDIT replenishes the window, MAPPING
+updates :attr:`mappings`, DRAINING flips :attr:`draining` (the streaming
+loop should stop and call :meth:`close`), ERROR raises.  The final
+:meth:`close` performs the BYE handshake and returns the server's SUMMARY
+payload, which carries the session's final matrix digest — the value the
+acceptance tests compare against
+:func:`repro.serve.evaluator.offline_reference`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.errors import AdmissionError, ProtocolError, ServeError
+from repro.serve import protocol
+from repro.serve.protocol import Frame, MsgType
+from repro.units import MSEC, PAGE_SIZE
+
+__all__ = ["AsyncServeClient", "ServeClient", "synthetic_fault_stream"]
+
+
+def synthetic_fault_stream(
+    n_threads: int,
+    events_per_thread: int,
+    *,
+    batch_events: int = 256,
+    pages_per_pair: int = 64,
+    seed: int = 0,
+    start_ns: int = 0,
+    step_ns: int = 1 * MSEC,
+) -> "Iterator[tuple[int, int, np.ndarray]]":
+    """Deterministic ``(tid, now_ns, vaddrs)`` batches with a far-pair pattern.
+
+    Thread *t* shares a private page pool with thread ``(t + n/2) % n`` —
+    the partner on the *other* socket under identity placement on a
+    dual-socket machine, so the optimal mapping moves pairs together and
+    the service's remap decisions are observable (nearest-neighbour pairs
+    would already sit on SMT siblings and every remap would be vetoed).
+    Batches round-robin the threads; virtual time advances ``step_ns`` per
+    round so the detection window stays open.  Everything derives from
+    *seed*, so replaying the generator reproduces the stream exactly.
+    """
+    if n_threads < 2 or n_threads % 2:
+        raise ServeError("synthetic_fault_stream needs an even n_threads >= 2")
+    rng = np.random.default_rng(seed)
+    rounds = -(-events_per_thread // batch_events)
+    sent = [0] * n_threads
+    for round_index in range(rounds):
+        now_ns = start_ns + round_index * step_ns
+        for tid in range(n_threads):
+            remaining = events_per_thread - sent[tid]
+            if remaining <= 0:
+                continue
+            n = min(batch_events, remaining)
+            partner = (tid + n_threads // 2) % n_threads
+            pair_index = min(tid, partner)
+            base = (1 + pair_index) * pages_per_pair * PAGE_SIZE
+            pages = rng.integers(0, pages_per_pair, size=n)
+            vaddrs = base + pages.astype(np.int64) * PAGE_SIZE
+            sent[tid] += n
+            yield tid, now_ns, vaddrs
+
+
+class _ClientState:
+    """Frame-dispatch state shared by the sync and async clients."""
+
+    def __init__(self) -> None:
+        self.session_id = 0
+        self.credits = 0
+        self.mappings: "list[dict[str, Any]]" = []
+        self.draining = False
+        self.summary: "dict[str, Any] | None" = None
+        self.metrics_text: "str | None" = None
+        self._flush_acks = 0
+
+    def dispatch(self, frame: Frame) -> None:
+        """Fold one server frame into the client state."""
+        if frame.type is MsgType.CREDIT:
+            self.credits += int(frame.payload.get("events", 0))
+            if frame.payload.get("ack") == "flush":
+                self._flush_acks += 1
+        elif frame.type is MsgType.MAPPING:
+            self.mappings.append(frame.payload)
+        elif frame.type is MsgType.DRAINING:
+            self.draining = True
+        elif frame.type is MsgType.SUMMARY:
+            self.summary = frame.payload
+        elif frame.type is MsgType.METRICS_TEXT:
+            self.metrics_text = frame.payload.get("text", "")
+        elif frame.type is MsgType.ERROR:
+            raise ServeError(
+                f"server error [{frame.payload.get('code')}]: "
+                f"{frame.payload.get('message')}"
+            )
+        else:
+            raise ProtocolError(f"unexpected {frame.type.name} frame from server")
+
+
+def _hello_payload(
+    tenant: str, n_threads: int, config: "dict[str, Any] | None"
+) -> "dict[str, Any]":
+    payload: dict[str, Any] = {
+        "tenant": tenant,
+        "n_threads": n_threads,
+        "version": protocol.PROTOCOL_VERSION,
+    }
+    if config:
+        payload["config"] = dict(config)
+    return payload
+
+
+def _check_welcome(frame: "Frame | None") -> "dict[str, Any]":
+    if frame is None:
+        raise ServeError("server closed the connection during the handshake")
+    if frame.type is MsgType.ERROR:
+        raise AdmissionError(
+            str(frame.payload.get("message", "refused")),
+            code=str(frame.payload.get("code", "refused")),
+        )
+    if frame.type is not MsgType.WELCOME:
+        raise ProtocolError(f"expected WELCOME, got {frame.type.name}")
+    return frame.payload
+
+
+class ServeClient:
+    """Blocking-socket client of the mapping service.
+
+    Usage::
+
+        with ServeClient(host, port, tenant="t0", n_threads=8) as client:
+            for tid, now_ns, vaddrs in stream:
+                client.send_events(tid, now_ns, vaddrs)
+                if client.draining:
+                    break
+        summary = client.summary   # populated by close()
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        tenant: str,
+        n_threads: int,
+        config: "dict[str, Any] | None" = None,
+        timeout_s: float = 30.0,
+    ) -> None:
+        self._state = _ClientState()
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        try:
+            protocol.send_frame(
+                self._sock,
+                protocol.encode(
+                    MsgType.HELLO, _hello_payload(tenant, n_threads, config)
+                ),
+            )
+            welcome = _check_welcome(protocol.recv_frame(self._sock))
+        except BaseException:
+            self._sock.close()
+            raise
+        self.welcome = welcome
+        self._state.session_id = int(welcome["session_id"])
+        self._state.credits = int(welcome["credits"])
+        self._closed = False
+
+    # -- state views --------------------------------------------------------
+    @property
+    def session_id(self) -> int:
+        """Server-assigned session id."""
+        return self._state.session_id
+
+    @property
+    def credits(self) -> int:
+        """Events the client may still send before awaiting CREDIT."""
+        return self._state.credits
+
+    @property
+    def mappings(self) -> "list[dict[str, Any]]":
+        """MAPPING payloads received so far (oldest first)."""
+        return self._state.mappings
+
+    @property
+    def draining(self) -> bool:
+        """True once the server announced shutdown — stop streaming."""
+        return self._state.draining
+
+    @property
+    def summary(self) -> "dict[str, Any] | None":
+        """The final SUMMARY payload (populated by :meth:`close`)."""
+        return self._state.summary
+
+    # -- protocol -----------------------------------------------------------
+    def _pump(self) -> None:
+        """Read and dispatch exactly one server frame (blocking)."""
+        frame = protocol.recv_frame(self._sock)
+        if frame is None:
+            raise ServeError("server closed the connection")
+        self._state.dispatch(frame)
+
+    def send_events(self, tid: int, now_ns: int, vaddrs: np.ndarray) -> None:
+        """Stream one event batch, honouring the credit window."""
+        vaddrs = np.asarray(vaddrs, dtype=np.int64)
+        n = int(vaddrs.size)
+        while self._state.credits < n and not self._state.draining:
+            self._pump()
+        if self._state.draining:
+            return
+        protocol.send_frame(self._sock, protocol.encode_events(tid, now_ns, vaddrs))
+        self._state.credits -= n
+
+    def flush(self) -> "dict[str, Any] | None":
+        """Force an evaluation now; returns a new mapping if one was pushed."""
+        before = len(self._state.mappings)
+        acks = self._state._flush_acks
+        protocol.send_frame(self._sock, protocol.encode(MsgType.FLUSH))
+        while self._state._flush_acks == acks:
+            self._pump()
+        return self._state.mappings[-1] if len(self._state.mappings) > before else None
+
+    def metrics(self) -> str:
+        """Fetch the server's plaintext metrics exposition in-protocol."""
+        self._state.metrics_text = None
+        protocol.send_frame(self._sock, protocol.encode(MsgType.METRICS))
+        while self._state.metrics_text is None:
+            self._pump()
+        return self._state.metrics_text
+
+    def close(self) -> "dict[str, Any] | None":
+        """BYE handshake: drain the session and return the SUMMARY payload."""
+        if self._closed:
+            return self._state.summary
+        self._closed = True
+        try:
+            protocol.send_frame(self._sock, protocol.encode(MsgType.BYE))
+            while self._state.summary is None:
+                frame = protocol.recv_frame(self._sock)
+                if frame is None:
+                    break
+                self._state.dispatch(frame)
+        except (ConnectionError, ServeError):
+            pass
+        finally:
+            self._sock.close()
+        return self._state.summary
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class AsyncServeClient:
+    """Asyncio client — the same protocol logic on streams.
+
+    Create with :meth:`connect`; the coroutine API mirrors
+    :class:`ServeClient` (``send_events`` / ``flush`` / ``metrics`` /
+    ``close``).
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._state = _ClientState()
+        self._closed = False
+        self.welcome: "dict[str, Any]" = {}
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        tenant: str,
+        n_threads: int,
+        config: "dict[str, Any] | None" = None,
+    ) -> "AsyncServeClient":
+        """Open a session; raises :class:`~repro.errors.AdmissionError` on
+        refusal."""
+        reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer)
+        try:
+            await protocol.write_frame(
+                writer,
+                protocol.encode(
+                    MsgType.HELLO, _hello_payload(tenant, n_threads, config)
+                ),
+            )
+            client.welcome = _check_welcome(await protocol.read_frame(reader))
+        except BaseException:
+            writer.close()
+            raise
+        client._state.session_id = int(client.welcome["session_id"])
+        client._state.credits = int(client.welcome["credits"])
+        return client
+
+    @property
+    def session_id(self) -> int:
+        """Server-assigned session id."""
+        return self._state.session_id
+
+    @property
+    def credits(self) -> int:
+        """Events the client may still send before awaiting CREDIT."""
+        return self._state.credits
+
+    @property
+    def mappings(self) -> "list[dict[str, Any]]":
+        """MAPPING payloads received so far (oldest first)."""
+        return self._state.mappings
+
+    @property
+    def draining(self) -> bool:
+        """True once the server announced shutdown — stop streaming."""
+        return self._state.draining
+
+    @property
+    def summary(self) -> "dict[str, Any] | None":
+        """The final SUMMARY payload (populated by :meth:`close`)."""
+        return self._state.summary
+
+    async def _pump(self) -> None:
+        frame = await protocol.read_frame(self._reader)
+        if frame is None:
+            raise ServeError("server closed the connection")
+        self._state.dispatch(frame)
+
+    async def send_events(self, tid: int, now_ns: int, vaddrs: np.ndarray) -> None:
+        """Stream one event batch, honouring the credit window."""
+        vaddrs = np.asarray(vaddrs, dtype=np.int64)
+        n = int(vaddrs.size)
+        while self._state.credits < n and not self._state.draining:
+            await self._pump()
+        if self._state.draining:
+            return
+        await protocol.write_frame(
+            self._writer, protocol.encode_events(tid, now_ns, vaddrs)
+        )
+        self._state.credits -= n
+
+    async def flush(self) -> "dict[str, Any] | None":
+        """Force an evaluation now; returns a new mapping if one was pushed."""
+        before = len(self._state.mappings)
+        acks = self._state._flush_acks
+        await protocol.write_frame(self._writer, protocol.encode(MsgType.FLUSH))
+        while self._state._flush_acks == acks:
+            await self._pump()
+        return self._state.mappings[-1] if len(self._state.mappings) > before else None
+
+    async def metrics(self) -> str:
+        """Fetch the server's plaintext metrics exposition in-protocol."""
+        self._state.metrics_text = None
+        await protocol.write_frame(self._writer, protocol.encode(MsgType.METRICS))
+        while self._state.metrics_text is None:
+            await self._pump()
+        return self._state.metrics_text or ""
+
+    async def close(self) -> "dict[str, Any] | None":
+        """BYE handshake: drain the session and return the SUMMARY payload."""
+        if self._closed:
+            return self._state.summary
+        self._closed = True
+        try:
+            await protocol.write_frame(self._writer, protocol.encode(MsgType.BYE))
+            while self._state.summary is None:
+                frame = await protocol.read_frame(self._reader)
+                if frame is None:
+                    break
+                self._state.dispatch(frame)
+        except (ConnectionError, ServeError):
+            pass
+        finally:
+            self._writer.close()
+        return self._state.summary

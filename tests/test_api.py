@@ -20,6 +20,8 @@ PACKAGES = [
     "repro.engine",
     "repro.oracle",
     "repro.analysis",
+    "repro.obs",
+    "repro.serve",
 ]
 
 
@@ -95,7 +97,7 @@ ENGINE_API = {
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_api_surface_snapshot(self):
         assert set(repro.__all__) == TOP_LEVEL_API

@@ -136,3 +136,67 @@ class TestSerialisation:
         path.write_text("1,2,3\n4,5,6\n")
         with pytest.raises(ConfigurationError):
             CommunicationMatrix.from_csv(str(path))
+
+
+class TestMerge:
+    def test_merge_accumulates_in_place_and_returns_self(self):
+        a = CommunicationMatrix(4, chain_pattern(4))
+        b = CommunicationMatrix(4, uniform_pattern(4))
+        expected = a.matrix + b.matrix
+        out = a.merge(b)
+        assert out is a
+        assert np.array_equal(a.matrix, expected)
+
+    def test_merge_scale(self):
+        a = CommunicationMatrix(4)
+        b = CommunicationMatrix(4, uniform_pattern(4))
+        a.merge(b, scale=0.5)
+        assert np.array_equal(a.matrix, 0.5 * b.matrix)
+
+    def test_merge_is_commutative_for_integer_counts(self):
+        rng = np.random.default_rng(7)
+        shards = []
+        for _ in range(4):
+            m = CommunicationMatrix(6)
+            for i, j in rng.integers(0, 6, size=(200, 2)):
+                if i != j:
+                    m.add(int(i), int(j))
+            shards.append(m)
+        forward = CommunicationMatrix(6)
+        for m in shards:
+            forward.merge(m)
+        backward = CommunicationMatrix(6)
+        for m in reversed(shards):
+            backward.merge(m)
+        # integer event counts are exact in float64: any merge order is
+        # bit-identical (the property shard reduction in repro.serve relies on)
+        assert np.array_equal(forward.matrix, backward.matrix)
+        assert forward.matrix.tobytes() == backward.matrix.tobytes()
+
+    def test_merge_deterministic_across_shardings(self):
+        # the same event stream split into 1, 2 or 3 shards merges to the
+        # same matrix, bit for bit
+        rng = np.random.default_rng(11)
+        events = [(int(i), int(j)) for i, j in rng.integers(0, 5, size=(300, 2)) if i != j]
+        reference = CommunicationMatrix(5)
+        for i, j in events:
+            reference.add(i, j)
+        for n_shards in (1, 2, 3):
+            shards = [CommunicationMatrix(5) for _ in range(n_shards)]
+            for index, (i, j) in enumerate(events):
+                shards[index % n_shards].add(i, j)
+            merged = CommunicationMatrix(5)
+            for m in shards:
+                merged.merge(m)
+            assert merged.matrix.tobytes() == reference.matrix.tobytes()
+
+    def test_merge_keeps_other_unchanged(self):
+        a = CommunicationMatrix(3)
+        b = CommunicationMatrix(3, uniform_pattern(3))
+        before = b.matrix.copy()
+        a.merge(b)
+        assert np.array_equal(b.matrix, before)
+
+    def test_merge_size_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            CommunicationMatrix(3).merge(CommunicationMatrix(4))

@@ -87,7 +87,9 @@ def test_event_types_registry_is_complete():
     assert {"run_start", "run_end", "fault_batch", "injector_wake", "tlb_shootdown",
             "spcd_evaluation", "mapping_decision", "migration", "cache_epoch",
             "grid_start", "grid_end", "cell_attempt_failed", "cell_retry",
-            "cell_completed", "cell_failed"} == set(kinds)
+            "cell_completed", "cell_failed",
+            "serve_start", "serve_session_start", "serve_evaluation",
+            "serve_session_end", "serve_end"} == set(kinds)
 
 
 # ---------------------------------------------------------------------------

@@ -105,3 +105,42 @@ class TestOracleMapping:
             tc.record(t, 0, batch.vaddrs, batch.is_write)
         mapping = oracle_mapping(wl, machine, trace=tc)
         assert len(set(mapping.tolist())) == 32
+
+
+class TestMatrixFromTraceParity:
+    @staticmethod
+    def _reference(tc, n_threads):
+        """The pre-vectorisation per-pair loop, kept as the parity oracle."""
+        from repro.core.commmatrix import CommunicationMatrix
+
+        m = CommunicationMatrix(n_threads)
+        for _page, counts in tc.page_access_counts(n_threads).items():
+            tids = np.flatnonzero(counts)
+            for a in range(tids.size):
+                for b in range(a + 1, tids.size):
+                    i, j = int(tids[a]), int(tids[b])
+                    m.add(i, j, float(min(counts[i], counts[j])))
+        return m
+
+    def test_vectorised_matches_reference_bit_for_bit(self, rng):
+        tc = TraceCollector()
+        n_threads = 6
+        for t in range(n_threads):
+            for _ in range(3):
+                vaddrs = rng.integers(0, 40, size=500) * PAGE_SIZE
+                tc.record(t, 0, vaddrs.astype(np.int64), np.zeros(500, bool))
+        fast = matrix_from_trace(tc, n_threads)
+        slow = self._reference(tc, n_threads)
+        assert fast.matrix.tobytes() == slow.matrix.tobytes()
+
+    def test_single_thread_trace_is_empty(self):
+        tc = TraceCollector()
+        tc.record(0, 0, np.zeros(10, dtype=np.int64), np.zeros(10, bool))
+        assert matrix_from_trace(tc, 4).total() == 0.0
+
+    def test_diagonal_stays_zero(self, rng):
+        tc = TraceCollector()
+        for t in range(4):
+            tc.record(t, 0, rng.integers(0, 8, size=100) * PAGE_SIZE, np.zeros(100, bool))
+        m = matrix_from_trace(tc, 4)
+        assert np.all(np.diag(m.matrix) == 0.0)

@@ -5,9 +5,11 @@ The run-time configuration surface is consolidated in
 :class:`repro.engine.settings.RunSettings`; scattered ``os.environ`` reads
 of ``REPRO_*`` variables are how the pre-1.1 codebase drifted into three
 subtly different boolean parsers.  This script walks the package's ASTs
-and fails if any module other than the allowed ones touches ``os.environ``
-(or ``os.getenv``) with a ``REPRO_``-prefixed key — or at all, since the
-package defines no other environment variables.
+and fails if any module other than the allowed ones touches the process
+environment — ``os.environ`` / ``os.environb`` subscripts or method calls,
+``os.getenv(...)``, through any alias (``import os as _os``,
+``from os import environ as env``) — with any key at all, since the
+package defines no environment variables outside ``RunSettings``.
 
 Usage: ``python tools/check_env_reads.py [src/repro]``
 """
@@ -23,36 +25,66 @@ ALLOWED = {
     "engine/settings.py",
 }
 
+#: the ``os`` attributes that constitute an environment read
+ENV_ATTRS = frozenset({"environ", "environb", "getenv", "getenvb"})
 
-def _is_os_environ(node: ast.AST) -> bool:
-    """True for ``os.environ`` / ``os.getenv`` / bare ``environ``/``getenv``."""
-    if isinstance(node, ast.Attribute):
-        return node.attr in ("environ", "getenv") and (
-            isinstance(node.value, ast.Name) and node.value.id == "os"
-        )
-    if isinstance(node, ast.Name):
-        return node.id in ("environ", "getenv")
-    return False
+
+class _EnvReadVisitor(ast.NodeVisitor):
+    """Collects environment-read sites, alias-aware and deduplicated.
+
+    Tracks every local name bound to the ``os`` module (``import os``,
+    ``import os as _os``) and every name bound to one of its environment
+    accessors (``from os import environ as env``), then reports each
+    *load* of such a name exactly once — the attribute node itself, so a
+    call like ``os.getenv("X")`` yields one violation, not one for the
+    ``Call`` and one for its ``func``.
+    """
+
+    def __init__(self, rel: str) -> None:
+        self.rel = rel
+        self.os_aliases = {"os"}
+        self.env_names: set[str] = set()
+        self.violations: list[str] = []
+
+    def _report(self, node: ast.AST, what: str) -> None:
+        self.violations.append(f"{self.rel}:{node.lineno}: {what}")
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "os":
+                self.os_aliases.add(alias.asname or "os")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "os":
+            for alias in node.names:
+                if alias.name in ENV_ATTRS:
+                    name = alias.asname or alias.name
+                    self.env_names.add(name)
+                    self._report(node, f"from os import {alias.name}")
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            node.attr in ENV_ATTRS
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self.os_aliases
+        ):
+            self._report(node, f"{node.value.id}.{node.attr}")
+            return  # the child Name is part of this site, not a second one
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if node.id in self.env_names and isinstance(node.ctx, ast.Load):
+            self._report(node, node.id)
 
 
 def check_file(path: Path, rel: str) -> list[str]:
-    """Return one violation string per offending environment read."""
+    """Return one violation string per offending environment-read site."""
     tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-    violations = []
-    for node in ast.walk(tree):
-        hit = None
-        if isinstance(node, ast.Subscript) and _is_os_environ(node.value):
-            hit = "os.environ[...]"
-        elif isinstance(node, ast.Call) and _is_os_environ(node.func):
-            hit = "os.getenv(...)" if getattr(node.func, "attr", "") == "getenv" else None
-            if hit is None and _is_os_environ(node.func):
-                hit = "environment read"
-        elif isinstance(node, ast.Attribute) and _is_os_environ(node):
-            # covers os.environ.get(...), `for k in os.environ`, etc.
-            hit = f"os.{node.attr}"
-        if hit is not None:
-            violations.append(f"{rel}:{node.lineno}: {hit}")
-    return violations
+    visitor = _EnvReadVisitor(rel)
+    visitor.visit(tree)
+    return visitor.violations
 
 
 def main(argv: "list[str] | None" = None) -> int:
