@@ -15,7 +15,8 @@ Two implementations share the same behaviour:
   implementation: the reference for differential testing
   (``REPRO_SLOW_HIERARCHY=1``) and, being the fastest under pure scalar
   traffic, the implementation of the never-batch-probed L2/L3 levels in
-  both modes.
+  both modes (the batched MESI drains touch the L2 through its scalar
+  interface plus an optional residency journal).
 
 Both produce identical hit/miss/eviction sequences: LRU order is total
 (strictly monotonic ages vs. ``OrderedDict`` insertion order), victims are
@@ -189,6 +190,56 @@ class SetAssocCache:
         self._where.clear()
         return n
 
+    def insert_batch(self, lines: np.ndarray, dirty: np.ndarray) -> None:
+        """Install *lines* (mapping to pairwise-distinct sets, none resident).
+
+        Equivalent to ``for x: insert(lines[x], dirty[x])`` under those
+        preconditions — the distinct-set requirement makes every victim
+        choice independent, so they are taken in one vectorised argmin
+        sweep; evicted and installed lines are journaled exactly as the
+        scalar path would.  Victims are *not* returned (the hierarchy's
+        only batch-install level is the L1, whose victims need no action).
+        Age ticks are compacted to one per install: relative LRU order
+        within each touched set is unchanged (the installed line becomes
+        strictly newest, everything else keeps its age), which is the only
+        thing the replacement policy observes.
+        """
+        k = lines.size
+        if not k:
+            return
+        sets = lines & self._set_mask
+        fws = np.empty(k, dtype=np.int64)
+        pending: list[int] = []
+        free = self._free
+        ways = self.ways
+        for x, s in enumerate(sets.tolist()):
+            fl = free[s]
+            if fl:
+                fws[x] = s * ways + fl.pop()
+            else:
+                pending.append(x)
+        if pending:
+            ev = np.asarray(pending, dtype=np.int64)
+            es = sets[ev]
+            evfw = es * ways + self._age[es].argmin(axis=1)
+            victims = self._tags1[evfw].tolist()
+            fws[ev] = evfw
+            self.evictions += len(pending)
+            where = self._where
+            for v in victims:
+                del where[v]
+            if self.journal is not None:
+                self.journal.update(victims)
+        self._tags1[fws] = lines
+        self._dirty1[fws] = dirty
+        self._age1[fws] = np.arange(self._tick, self._tick + k)
+        self._tick += k
+        where = self._where
+        for line, fw in zip(lines.tolist(), fws.tolist()):
+            where[line] = fw
+        if self.journal is not None:
+            self.journal.update(lines.tolist())
+
     # -- vectorised path ----------------------------------------------------
     def contains_batch(self, lines: np.ndarray) -> np.ndarray:
         """Presence of each line id in *lines* (no LRU update, no counting)."""
@@ -261,7 +312,10 @@ class LegacySetAssocCache:
     engine itself uses it for L2/L3, which see only scalar traffic.
     """
 
-    __slots__ = ("name", "num_sets", "ways", "_set_mask", "_sets", "hits", "misses", "evictions")
+    __slots__ = (
+        "name", "num_sets", "ways", "_set_mask", "_sets",
+        "hits", "misses", "evictions", "journal",
+    )
 
     def __init__(self, params: CacheParams, name: str | None = None) -> None:
         self.name = name or params.name
@@ -272,6 +326,10 @@ class LegacySetAssocCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: optional residency journal (see :class:`SetAssocCache`); the
+        #: hierarchy attaches one to the L2s when batched MESI drains are
+        #: on, so cached L2-hit classifications can be staleness-checked.
+        self.journal: "set[int] | None" = None
 
     def set_index(self, line: int) -> int:
         """Set holding *line*."""
@@ -305,13 +363,21 @@ class LegacySetAssocCache:
             victim_line, victim_dirty = s.popitem(last=False)
             victim = (victim_line, victim_dirty)
             self.evictions += 1
+            if self.journal is not None:
+                self.journal.add(victim_line)
         s[line] = dirty
+        if self.journal is not None:
+            self.journal.add(line)
         return victim
 
     def remove(self, line: int) -> bool:
         """Invalidate *line* if present; returns its dirty flag (False if absent)."""
         s = self._sets[line & self._set_mask]
-        return s.pop(line, False)
+        if line not in s:
+            return False
+        if self.journal is not None:
+            self.journal.add(line)
+        return s.pop(line)
 
     def mark_dirty(self, line: int) -> None:
         """Set the dirty flag of a resident line (no-op if absent)."""
@@ -333,6 +399,8 @@ class LegacySetAssocCache:
         """Drop all contents; returns the number of lines dropped."""
         n = len(self)
         for s in self._sets:
+            if self.journal is not None:
+                self.journal.update(s.keys())
             s.clear()
         return n
 

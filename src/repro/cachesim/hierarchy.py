@@ -72,6 +72,20 @@ def _slow_hierarchy_requested() -> bool:
     return RunSettings.from_env().slow_hierarchy
 
 
+def _slow_mesi_requested() -> bool:
+    """True when ``REPRO_SLOW_MESI`` disables the batched MESI drains.
+
+    The batched drains are a layer *on top of* the fast path: with
+    ``REPRO_SLOW_MESI=1`` the fast path still runs (L1 bulk probing and
+    hit counting), but same-level coherence transitions — the L2-hit
+    refill runs — drain through the scalar reference loop instead of the
+    vectorised state/LRU updates.  Also a ``RunSettings`` delegate.
+    """
+    from repro.engine.settings import RunSettings
+
+    return RunSettings.from_env().slow_mesi
+
+
 def _aslist(values) -> list:
     """Fast conversion of numpy arrays (or sequences) to Python lists."""
     tolist = getattr(values, "tolist", None)
@@ -85,15 +99,28 @@ class CoherentHierarchy:
     on); internally coherence operates on the owning core.
     """
 
-    def __init__(self, machine: Machine, fast_path: bool | None = None) -> None:
+    def __init__(
+        self,
+        machine: Machine,
+        fast_path: bool | None = None,
+        batch_mesi: bool | None = None,
+    ) -> None:
         self.machine = machine
         if fast_path is None:
             fast_path = not _slow_hierarchy_requested()
+        if batch_mesi is None:
+            batch_mesi = not _slow_mesi_requested()
         #: whether the vectorised batch path (and array-backed caches) are used
         self.fast_path = fast_path
+        #: whether same-level MESI transitions (L2-hit refill runs) are
+        #: collected and drained with vectorised state/LRU updates; requires
+        #: the fast path, and REPRO_SLOW_MESI=1 turns it off for
+        #: differential testing against the scalar drain
+        self.batch_mesi = fast_path and batch_mesi
         # Only L1s are ever batch-probed, so only they pay for the array
         # backing; L2/L3 see pure scalar traffic, where the dict-backed
-        # implementation is fastest.
+        # implementation is fastest — the batched MESI drains touch the L2
+        # only through its scalar interface plus the residency journal.
         l1_cls = SetAssocCache if fast_path else LegacySetAssocCache
         n_cores = machine.n_cores
         self.l1 = [l1_cls(machine.l1_params, f"L1.c{c}") for c in range(n_cores)]
@@ -231,6 +258,15 @@ class CoherentHierarchy:
         upgrade) fall into the per-access MESI slow path.  The produced
         :class:`CacheStats` and cache/directory state are bit-identical to
         the per-access reference loop (``REPRO_SLOW_HIERARCHY=1``).
+
+        With :attr:`batch_mesi` (the default; ``REPRO_SLOW_MESI=1`` turns
+        it off), same-level coherence transitions are additionally
+        *collected and drained in batch*: run heads that miss L1 are
+        classified against the L2's residency sets, and contiguous
+        read-only L2-hit stretches drain through one batched distinct-set
+        L1 install plus bulk hit/miss counting instead of the per-access
+        loop (the L2's own LRU refresh stays scalar — it is a plain
+        ``move_to_end`` per head either way).
         """
         core = self._core_of_pu[pu]
         if not self.fast_path or self._bypass[core]:
@@ -276,6 +312,15 @@ class CoherentHierarchy:
         journal = l1.journal
         if journal is None:
             journal = l1.journal = set()
+        l2 = self.l2[core]
+        batch_mesi = self.batch_mesi
+        if batch_mesi and l2.journal is not journal:
+            # Shared residency journal: slow-path L2 installs/evictions
+            # must invalidate cached L2-hit classifications exactly as L1
+            # changes invalidate hit classifications.  (Re-attached here
+            # because bypass round-trips replace the L1 — and with it the
+            # journal the L2 must share.)
+            l2.journal = journal
         bulk_before = self._bulk_acc
         n_runs = starts.size
         i = 0
@@ -293,6 +338,72 @@ class CoherentHierarchy:
             journal.clear()
             w = limit - i
             resident, sets, ways, owned = l1.probe_batch(first_lines[i:limit])
+            use_l2 = False
+            if batch_mesi and w - int(resident.sum()) >= SMALL_SPAN:
+                # Gate: the L2 probe and class segmentation only pay off
+                # when at least one contiguous stretch of drain candidates
+                # (L1-miss heads of read-only runs) is span-sized; windows
+                # without one fall through to the plain hit-gap walk below
+                # at zero extra cost.
+                cand = ~resident & (run_writes[i:limit] == 0)
+                ci = np.flatnonzero(cand)
+                if ci.size >= SMALL_SPAN:
+                    brk = np.flatnonzero(np.diff(ci) > 1)
+                    stretch_start = np.concatenate(([0], brk + 1))
+                    stretch_end = np.append(brk + 1, ci.size)
+                    use_l2 = int((stretch_end - stretch_start).max()) >= SMALL_SPAN
+            if use_l2:
+                # Classify every run head: 0 = L1-resident (bulk hit
+                # span), 1 = L1-miss/L2-hit with a read-only run (batched
+                # refill drain), 2 = everything else (scalar reference).
+                # Contiguous same-class stretches form the drain segments;
+                # class-2 stretches and sub-threshold segments merge into
+                # scalar stretches exactly like the small hit gaps below.
+                cls = np.full(w, 2, dtype=np.int8)
+                cls[resident] = 0
+                l2_sets = l2._sets
+                l2_mask = l2._set_mask
+                cand_lines = first_lines[i:limit][ci]
+                l2res = np.fromiter(
+                    (ln in l2_sets[ln & l2_mask] for ln in cand_lines.tolist()),
+                    dtype=bool,
+                    count=ci.size,
+                )
+                cls[ci[l2res]] = 1
+                seg = np.flatnonzero(cls[1:] != cls[:-1]) + 1
+                seg_start = np.concatenate(([0], seg))
+                seg_end = np.append(seg, w)
+                cursor = 0
+                for si in range(seg_start.size):
+                    ga = int(seg_start[si])
+                    gb = int(seg_end[si])
+                    kind = int(cls[ga])
+                    if kind == 2 or gb - ga < SMALL_SPAN:
+                        continue  # merged into the scalar stretch
+                    if ga > cursor:
+                        self._slow_run(
+                            core, lines_l, writes_l, homes_l,
+                            int(starts[i + cursor]), int(ends[i + ga - 1]),
+                        )
+                    if kind == 0:
+                        self._hit_span(
+                            core, l1, journal, lines_l, writes_l, homes_l,
+                            first_lines, starts, ends, run_writes,
+                            sets, ways, owned, i, ga, gb,
+                        )
+                    else:
+                        self._l2_span(
+                            core, l1, l2, journal, lines_l, writes_l, homes_l,
+                            first_lines, starts, ends, i, ga, gb,
+                        )
+                    cursor = gb
+                if cursor < w:
+                    self._slow_run(
+                        core, lines_l, writes_l, homes_l,
+                        int(starts[i + cursor]), int(ends[i + w - 1]),
+                    )
+                i = limit
+                continue
             miss_rel = np.flatnonzero(~resident)
             # Hit gaps are the stretches between probe-time misses; only
             # gaps long enough for the vector bookkeeping to pay off are
@@ -354,37 +465,57 @@ class CoherentHierarchy:
         window touched a head's line (eviction, or eviction + reinstall in a
         different way); those lines are exactly the L1's journal entries, so
         journal-touched heads are re-run through the reference path and only
-        verified-fresh stretches are bulk-counted.  Indices *a*/*b* are
-        window-relative; *base* is the window's first run index.
+        verified-fresh stretches are bulk-counted.  One vectorised scan at
+        span entry flags the heads stale at that point; the stale heads'
+        own re-runs are the only journal writers after it, so from the
+        first growth onward the walk additionally checks each head against
+        the live journal — an O(1) set probe, keeping the span linear even
+        when every head is stale.  Indices *a*/*b* are window-relative;
+        *base* is the window's first run index.
         """
-        while a < b:
-            if b - a < SMALL_SPAN:
-                # Too short for the vector bookkeeping to pay off: drain
-                # through the reference loop (exact by construction).
-                self._slow_run(core, lines, writes, homes, int(starts[base + a]), int(ends[base + b - 1]))
-                return
-            c = b
-            if journal:
-                stale = np.flatnonzero(
-                    np.isin(
-                        first_lines[base + a : base + b],
-                        np.fromiter(journal, dtype=np.int64, count=len(journal)),
-                    )
-                )
-                if stale.size:
-                    c = a + int(stale[0])
-            if c > a:
+        n = b - a
+        if n < SMALL_SPAN:
+            # Too short for the vector bookkeeping to pay off: drain
+            # through the reference loop (exact by construction).
+            self._slow_run(core, lines, writes, homes, int(starts[base + a]), int(ends[base + b - 1]))
+            return
+        span = first_lines[base + a : base + b]
+        if journal:
+            stale_f = np.isin(
+                span, np.fromiter(journal, dtype=np.int64, count=len(journal))
+            ).tolist()
+        else:
+            stale_f = None
+        span_l = span.tolist()
+        jlen = len(journal)
+        grown = False
+        cur = 0
+        for idx in range(n):
+            st = stale_f[idx] if stale_f is not None else False
+            if not st and grown:
+                st = span_l[idx] in journal
+            if not st:
+                continue
+            if idx > cur:
                 self._bulk_hits(
                     core, l1, first_lines, starts, ends, run_writes,
-                    sets, ways, owned, base, a, c,
+                    sets, ways, owned, base, a + cur, a + idx,
                 )
-            if c == b:
-                return
             # Stale head: its line was evicted (and possibly reinstalled in
             # another way) since the probe — the reference path re-resolves
-            # it, and may grow the journal, hence the re-scan next round.
-            self._slow_run(core, lines, writes, homes, int(starts[base + c]), int(ends[base + c]))
-            a = c + 1
+            # it, and may grow the journal.
+            self._slow_run(
+                core, lines, writes, homes,
+                int(starts[base + a + idx]), int(ends[base + a + idx]),
+            )
+            cur = idx + 1
+            if not grown and len(journal) > jlen:
+                grown = True
+        if cur < n:
+            self._bulk_hits(
+                core, l1, first_lines, starts, ends, run_writes,
+                sets, ways, owned, base, a + cur, a + n,
+            )
 
     def _bulk_hits(
         self,
@@ -432,6 +563,190 @@ class CoherentHierarchy:
                     upgrades += 1
         stats.l1_hits += total - upgrades
         l1.hits += total - upgrades
+        self._bulk_acc += total
+
+    def _l2_span(
+        self,
+        core: int,
+        l1,
+        l2,
+        journal: set[int],
+        lines: list,
+        writes: list,
+        homes: list,
+        first_lines: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        base: int,
+        a: int,
+        b: int,
+    ) -> None:
+        """Drain runs ``base+a .. base+b-1``: heads probed L1-miss/L2-hit,
+        every access a read.
+
+        One upfront pass over the span flags the heads that must re-run
+        through the reference path, then a single walk emits drained
+        chunks between them:
+
+        * *stale heads* — their line is in the journal at span start (its
+          L1 or L2 residency changed between the probe and this span), or
+          it duplicates an earlier in-span line.  Installs and evictions
+          performed *inside* the span — by the drains or by the scalar
+          re-runs themselves — touch only lines of earlier span heads (or
+          their L1 victims, which were probed resident and so live in a
+          different segment), so their future impact lands exactly on the
+          duplicate positions; one upfront scan covers the whole span.
+          The exception is the L2 side: a stale head's re-run can miss L2
+          and its refill can evict an L2 line (directly or through an L3
+          back-invalidation) that a later head was classified against.
+          During the span the L2 journals into a private set, and
+          whenever a re-run grows it, the matching later heads are
+          flagged stale too.
+        * *hazard heads* — their L1 set repeats within the current chunk.
+          A batched install needs pairwise-distinct sets (victim choices
+          couple within one :meth:`SetAssocCache.insert_batch`), so a
+          repeated set starts the next chunk; no scalar run is needed.
+
+        Chunks shorter than :data:`SMALL_SPAN` drain through the scalar
+        reference path — same cutoff, same reasoning as the hit gaps.
+        """
+        n = b - a
+        span = first_lines[base + a : base + b]
+        scalar_f: np.ndarray | list
+        if journal:
+            scalar_f = np.isin(
+                span, np.fromiter(journal, dtype=np.int64, count=len(journal))
+            )
+        else:
+            scalar_f = np.zeros(n, dtype=bool)
+        uniq_first = np.unique(span, return_index=True)[1]
+        if uniq_first.size < n:
+            dup = np.ones(n, dtype=bool)
+            dup[uniq_first] = False
+            scalar_f |= dup
+        # prev[i] = closest earlier in-span position with the same L1 set
+        # (or -1): the hazard cut consults it against the chunk start.
+        sets1 = span & (l1.num_sets - 1)
+        order = np.argsort(sets1, kind="stable")
+        prev = np.full(n, -1, dtype=np.int64)
+        same = sets1[order[1:]] == sets1[order[:-1]]
+        prev[order[1:][same]] = order[:-1][same]
+        scalar_f = scalar_f.tolist()
+        prev_l = prev.tolist()
+        # Private L2 journal for the span (see docstring); merged back at
+        # the end so later segments' staleness checks still see L2 churn.
+        l2_probe: set[int] = set()
+        l2.journal = l2_probe
+        try:
+            cur = 0
+            for idx in range(n):
+                if scalar_f[idx]:
+                    if idx > cur:
+                        self._emit_chunk(
+                            core, l1, l2, lines, writes, homes,
+                            first_lines, starts, ends, base, a + cur, a + idx,
+                        )
+                    self._slow_run(
+                        core, lines, writes, homes,
+                        int(starts[base + idx + a]), int(ends[base + idx + a]),
+                    )
+                    cur = idx + 1
+                    if l2_probe:
+                        for p in np.flatnonzero(
+                            np.isin(
+                                span,
+                                np.fromiter(
+                                    l2_probe, dtype=np.int64, count=len(l2_probe)
+                                ),
+                            )
+                        ).tolist():
+                            if p > idx:
+                                scalar_f[p] = True
+                        journal.update(l2_probe)
+                        l2_probe.clear()
+                elif prev_l[idx] >= cur:
+                    self._emit_chunk(
+                        core, l1, l2, lines, writes, homes,
+                        first_lines, starts, ends, base, a + cur, a + idx,
+                    )
+                    cur = idx
+            if cur < n:
+                self._emit_chunk(
+                    core, l1, l2, lines, writes, homes,
+                    first_lines, starts, ends, base, a + cur, a + n,
+                )
+        finally:
+            journal.update(l2_probe)
+            l2.journal = journal
+
+    def _emit_chunk(
+        self,
+        core: int,
+        l1,
+        l2,
+        lines: list,
+        writes: list,
+        homes: list,
+        first_lines: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        base: int,
+        a: int,
+        c: int,
+    ) -> None:
+        """Drain runs ``base+a .. base+c-1`` (pairwise-distinct L1 sets,
+        all L2-hit refills) — scalar below :data:`SMALL_SPAN`."""
+        if c - a < SMALL_SPAN:
+            self._slow_run(
+                core, lines, writes, homes, int(starts[base + a]), int(ends[base + c - 1])
+            )
+        else:
+            self._drain_l2_hits(core, l1, l2, first_lines, starts, ends, base, a, c)
+
+    def _drain_l2_hits(
+        self,
+        core: int,
+        l1,
+        l2,
+        first_lines: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        base: int,
+        a: int,
+        c: int,
+    ) -> None:
+        """Account runs ``base+a .. base+c-1`` — L2-hit refills, read-only.
+
+        The reference path per run: one L1 lookup miss, one L2 lookup hit
+        (LRU refresh), one L1 install carrying the M-ownership mirror in
+        its dirty bit, then pure L1 hits for the tail.  The L2 side stays
+        scalar (a ``move_to_end`` per head, exactly the reference lookup's
+        LRU refresh); the L1 side is vectorised — one batched distinct-set
+        install plus bulk hit/miss counting.  The directory is untouched:
+        an L2-resident core is already a sharer (invariant 2) and a read
+        never moves ownership.
+        """
+        stats = self.stats
+        k = c - a
+        head_lines = first_lines[base + a : base + c]
+        l2_sets = l2._sets
+        l2_mask = l2._set_mask
+        for ln in head_lines.tolist():
+            l2_sets[ln & l2_mask].move_to_end(ln)
+        dget = self._dirty_owner.get
+        dirty = np.fromiter(
+            (dget(line, NO_OWNER) == core for line in head_lines.tolist()),
+            dtype=bool,
+            count=k,
+        )
+        l1.insert_batch(head_lines, dirty)
+        total = int(ends[base + c - 1] - starts[base + a])
+        stats.l1_misses += k
+        l1.misses += k
+        stats.l2_hits += k
+        l2.hits += k
+        stats.l1_hits += total - k
+        l1.hits += total - k
         self._bulk_acc += total
 
     def _slow_run(

@@ -28,24 +28,37 @@ def group_matrix(comm: np.ndarray, groups: Sequence[Group]) -> np.ndarray:
     """Communication matrix *between groups* (Eq. 1 generalised).
 
     ``H[a, b]`` is the sum of ``comm[i, j]`` over all ``i`` in group *a* and
-    ``j`` in group *b*.  Implemented as ``G @ M @ G.T`` with an indicator
-    matrix; the diagonal (intra-group communication) is zeroed since matching
-    never uses it.
+    ``j`` in group *b*.  For equal-size groups (the only shape the pairing
+    rounds produce) this is one numpy gather-and-fold — ``comm`` indexed by
+    the ``(g, s)`` member table on both axes, summed over the two member
+    axes, an O(n^2) outer-sum with no Python loops.  Ragged group lists
+    fall back to the indicator-matrix product ``G @ M @ G.T``.  The
+    diagonal (intra-group communication) is zeroed since matching never
+    uses it.
     """
     comm = np.asarray(comm, dtype=float)
     n = comm.shape[0]
     g = len(groups)
-    indicator = np.zeros((g, n))
-    seen: set[int] = set()
-    for a, members in enumerate(groups):
-        for tid in members:
-            if not 0 <= tid < n:
-                raise MappingError(f"thread {tid} outside matrix of size {n}")
-            if tid in seen:
-                raise MappingError(f"thread {tid} appears in two groups")
-            seen.add(tid)
-            indicator[a, tid] = 1.0
-    h = indicator @ comm @ indicator.T
+    sizes = {len(members) for members in groups}
+    flat = np.fromiter(
+        (tid for members in groups for tid in members),
+        dtype=np.int64,
+        count=sum(len(members) for members in groups),
+    )
+    if flat.size and ((flat < 0) | (flat >= n)).any():
+        bad = int(flat[(flat < 0) | (flat >= n)][0])
+        raise MappingError(f"thread {bad} outside matrix of size {n}")
+    if np.unique(flat).size != flat.size:
+        vals, counts = np.unique(flat, return_counts=True)
+        raise MappingError(f"thread {int(vals[counts > 1][0])} appears in two groups")
+    if len(sizes) == 1:
+        members = flat.reshape(g, -1)
+        h = comm[members[:, None, :, None], members[None, :, None, :]].sum(axis=(2, 3))
+    else:
+        indicator = np.zeros((g, n))
+        for a, members in enumerate(groups):
+            indicator[a, list(members)] = 1.0
+        h = indicator @ comm @ indicator.T
     np.fill_diagonal(h, 0.0)
     return h
 

@@ -167,13 +167,26 @@ class ArrayShareTable:
     updates bit for bit.
     """
 
-    def __init__(self, size: int = DEFAULT_TABLE_SIZE, n_threads: int = 1) -> None:
+    def __init__(
+        self,
+        size: int = DEFAULT_TABLE_SIZE,
+        n_threads: int = 1,
+        *,
+        scalar_touch_max: "int | None" = None,
+    ) -> None:
         if size <= 0:
             raise ConfigurationError("table size must be positive")
         if n_threads <= 0:
             raise ConfigurationError("need at least one thread")
+        if scalar_touch_max is not None and scalar_touch_max < 0:
+            raise ConfigurationError("scalar_touch_max must be >= 0")
         self.size = size
         self.n_threads = n_threads
+        #: batch-size cutover below which touch_batch replays scalarly
+        #: (``RunSettings.batch_cutover_touch`` when plumbed from settings)
+        self.scalar_touch_max = (
+            _SCALAR_TOUCH_MAX if scalar_touch_max is None else scalar_touch_max
+        )
         self._region = np.full(size, _EMPTY_REGION, dtype=np.int64)
         #: biased timestamps: value v != 0 means last access at time v - 1
         self._last = np.zeros((size, n_threads), dtype=np.int64)
@@ -206,7 +219,7 @@ class ArrayShareTable:
         m = int(regions.size)
         if m == 0:
             return np.empty(0, dtype=np.int64), 0
-        if m <= _SCALAR_TOUCH_MAX:
+        if m <= self.scalar_touch_max:
             partners: list[int] = []
             windowed_out = 0
             for region in regions.tolist():

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -145,6 +146,7 @@ class SpcdManager:
         timer_wheel: TimerWheel | None = None,
         config: SpcdConfig | None = None,
         recorder: TraceRecorder | None = None,
+        scalar_touch_max: "int | None" = None,
     ) -> None:
         self.machine = machine
         self.n_threads = n_threads
@@ -160,6 +162,7 @@ class SpcdManager:
             detect_cost_ns=cfg.detect_cost_ns,
             pipeline=pipeline,
             engine=cfg.detector_engine,
+            scalar_touch_max=scalar_touch_max,
         )
         self.injector = FaultInjector(
             pipeline,
@@ -196,6 +199,9 @@ class SpcdManager:
                 scan_period_ns=cfg.data_scan_period_ns,
             )
         self.overheads = SpcdOverheads()
+        #: host wall-clock spent in the mapping kernels (grouping + matching
+        #: + layout); harvested into ``PerfCounters.match_s`` at run end
+        self.map_wall_s = 0.0
         self._mapping_history: list[tuple[int, np.ndarray]] = []
         self._events_at_last_trigger = 0.0
         self._last_migration_ns = -(1 << 62)
@@ -235,7 +241,9 @@ class SpcdManager:
                 return False
             self._events_at_last_trigger = self.detector.stats.comm_events
             current = self.migrator.scheduler.placement()
+            t_map = perf_counter()
             mapping = self.mapper.map(matrix, current=current)
+            self.map_wall_s += perf_counter() - t_map
             self.overheads.mapper_calls += 1
             self.overheads.mapping_ns += (
                 self.config.mapping_cost_ns_per_n3 * self.n_threads**3

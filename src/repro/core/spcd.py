@@ -88,6 +88,7 @@ class SpcdDetector:
         detect_cost_ns: float = 250.0,
         pipeline: FaultPipeline | None = None,
         engine: str | None = None,
+        scalar_touch_max: "int | None" = None,
     ) -> None:
         if granularity <= 0:
             raise ConfigurationError("granularity must be positive")
@@ -102,7 +103,9 @@ class SpcdDetector:
         self.detect_cost_ns = detect_cost_ns
         self.engine = engine
         if engine == "array":
-            self.table: ArrayShareTable | ShareTable = ArrayShareTable(table_size, n_threads)
+            self.table: ArrayShareTable | ShareTable = ArrayShareTable(
+                table_size, n_threads, scalar_touch_max=scalar_touch_max
+            )
         else:
             self.table = ShareTable(table_size)
         self.matrix = CommunicationMatrix(n_threads)

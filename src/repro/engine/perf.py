@@ -20,6 +20,10 @@ class PerfCounters:
     wall_s: float = 0.0
     #: time inside ``CoherentHierarchy.access_batch_pu``
     hierarchy_s: float = 0.0
+    #: time the sharded simulator spends in its per-step coherence round
+    #: trip (broadcast + stripe drains + stats merge); the sharded engine's
+    #: replacement for ``hierarchy_s``, zero in single-process mode
+    coherence_s: float = 0.0
     #: time inside the fault pipeline (classification + handling)
     fault_s: float = 0.0
     #: time inside fault hooks (SPCD detection / data-map recording); a
@@ -28,6 +32,10 @@ class PerfCounters:
     #: time in the timer wheel + scheduler quanta (SPCD injector/evaluator,
     #: load balancer, migrations)
     spcd_s: float = 0.0
+    #: time inside the mapping kernels (grouping + matching + layout) when
+    #: an SPCD evaluation decides a mapping; a subset of ``spcd_s``, not an
+    #: additional bucket
+    match_s: float = 0.0
     #: time generating workload access streams
     workload_s: float = 0.0
     #: memory accesses fed to the hierarchy
@@ -39,10 +47,18 @@ class PerfCounters:
     def tracked_s(self) -> float:
         """Wall time attributed to a tracked subsystem.
 
-        ``detect_s`` is contained in ``fault_s`` and therefore not part of
-        the sum.
+        ``detect_s`` is contained in ``fault_s`` and ``match_s`` in
+        ``spcd_s``, so neither is part of the sum.  ``coherence_s`` and
+        ``hierarchy_s`` are disjoint (one is the sharded engine's bucket,
+        the other the single-process engine's), so both are summed.
         """
-        return self.hierarchy_s + self.fault_s + self.spcd_s + self.workload_s
+        return (
+            self.hierarchy_s
+            + self.coherence_s
+            + self.fault_s
+            + self.spcd_s
+            + self.workload_s
+        )
 
     @property
     def other_s(self) -> float:

@@ -22,6 +22,8 @@ from dataclasses import dataclass, fields, replace
 from repro.errors import ConfigurationError
 
 __all__ = [
+    "ENV_BATCH_CUTOVER_RESOLVE",
+    "ENV_BATCH_CUTOVER_TOUCH",
     "ENV_CELL_RETRIES",
     "ENV_CELL_TIMEOUT",
     "ENV_GRID_STRICT",
@@ -36,7 +38,9 @@ __all__ = [
     "ENV_SERVE_METRICS_PORT",
     "ENV_SERVE_PORT",
     "ENV_SERVE_SHARDS",
+    "ENV_SIM_SHARDS",
     "ENV_SLOW_HIERARCHY",
+    "ENV_SLOW_MESI",
     "ENV_SLOW_SPCD",
     "ENV_TRACE",
     "RunSettings",
@@ -53,6 +57,14 @@ ENV_TRACE = "REPRO_TRACE"
 ENV_SLOW_HIERARCHY = "REPRO_SLOW_HIERARCHY"
 #: select the per-fault reference fault/SPCD path
 ENV_SLOW_SPCD = "REPRO_SLOW_SPCD"
+#: select the scalar reference MESI drain (keep Legacy L2s, per-run loops)
+ENV_SLOW_MESI = "REPRO_SLOW_MESI"
+#: coherence-stripe worker processes per simulation (1 = single-process)
+ENV_SIM_SHARDS = "REPRO_SIM_SHARDS"
+#: largest sharing-table touch batch handled by the scalar path
+ENV_BATCH_CUTOVER_TOUCH = "REPRO_BATCH_CUTOVER_TOUCH"
+#: largest fault batch resolved by the scalar path
+ENV_BATCH_CUTOVER_RESOLVE = "REPRO_BATCH_CUTOVER_RESOLVE"
 #: per-cell wall-clock timeout in seconds (unset = no timeout)
 ENV_CELL_TIMEOUT = "REPRO_CELL_TIMEOUT_S"
 #: retries after a cell's first failed attempt (default 2)
@@ -145,6 +157,14 @@ class RunSettings:
     slow_hierarchy: bool = False
     #: run the per-fault reference fault/SPCD path (differential testing)
     slow_spcd: bool = False
+    #: run the scalar reference MESI drain (differential testing)
+    slow_mesi: bool = False
+    #: coherence-stripe worker processes per simulation; 1 = single-process
+    sim_shards: int = 1
+    #: batches of at most this many sharing-table touches stay scalar
+    batch_cutover_touch: int = 12
+    #: fault batches of at most this many faults stay scalar
+    batch_cutover_resolve: int = 4
     #: per-cell wall-clock timeout in seconds; ``None`` = no timeout
     cell_timeout_s: "float | None" = None
     #: retries after a cell's first failed attempt (0 = fail immediately)
@@ -183,6 +203,14 @@ class RunSettings:
             raise ConfigurationError("cell_retries must be >= 0")
         if self.retry_backoff_s < 0:
             raise ConfigurationError("retry_backoff_s must be >= 0")
+        if self.sim_shards < 1:
+            raise ConfigurationError("sim_shards must be >= 1")
+        if self.sim_shards & (self.sim_shards - 1):
+            raise ConfigurationError("sim_shards must be a power of two")
+        if self.batch_cutover_touch < 0:
+            raise ConfigurationError("batch_cutover_touch must be >= 0")
+        if self.batch_cutover_resolve < 0:
+            raise ConfigurationError("batch_cutover_resolve must be >= 0")
         if not 0 <= self.serve_port <= 65535:
             raise ConfigurationError("serve_port must be in [0, 65535]")
         if self.serve_metrics_port is not None and not 0 <= self.serve_metrics_port <= 65535:
@@ -228,6 +256,10 @@ class RunSettings:
             trace=_get(environ, ENV_TRACE) or None,
             slow_hierarchy=_env_bool(environ, ENV_SLOW_HIERARCHY),
             slow_spcd=_env_bool(environ, ENV_SLOW_SPCD),
+            slow_mesi=_env_bool(environ, ENV_SLOW_MESI),
+            sim_shards=_env_int(environ, ENV_SIM_SHARDS, 1),
+            batch_cutover_touch=_env_int(environ, ENV_BATCH_CUTOVER_TOUCH, 12),
+            batch_cutover_resolve=_env_int(environ, ENV_BATCH_CUTOVER_RESOLVE, 4),
             cell_timeout_s=_env_float(environ, ENV_CELL_TIMEOUT, None),
             cell_retries=_env_int(environ, ENV_CELL_RETRIES, 2),
             retry_backoff_s=_env_float(environ, ENV_RETRY_BACKOFF, 0.25) or 0.0,

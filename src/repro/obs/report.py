@@ -94,6 +94,9 @@ class RunReport:
     vetoed_mappings: int = 0
     tlb_shootdowns: int = 0
     events: int = 0
+    #: host wall-clock breakdown from run_end's PerfCounters fold (the one
+    #: non-deterministic part of a trace; empty for pre-perf traces)
+    perf: dict[str, float] = field(default_factory=dict)
     #: inconsistencies against the run_end summary (empty = trace is sound)
     errors: list[str] = field(default_factory=list)
 
@@ -137,6 +140,7 @@ class RunReport:
             "vetoed_mappings": self.vetoed_mappings,
             "tlb_shootdowns": self.tlb_shootdowns,
             "events": self.events,
+            "perf": dict(self.perf),
             "errors": list(self.errors),
         }
 
@@ -457,6 +461,7 @@ def reconstruct_runs(events: Iterable[dict[str, Any]]) -> list[RunReport]:
         elif kind == "run_end":
             run.total_ns = float(ev["total_ns"])
             run.steps_run = int(ev["steps_run"])
+            run.perf = {k: float(v) for k, v in ev.get("perf", {}).items()}
             # Same additions, same order, as SpcdManager.detection_time_ns /
             # mapping_time_ns — the split is reproduced bit-for-bit.
             run.detection_ns = hook_ns + inject_ns
@@ -520,6 +525,19 @@ def _format_table(reports: list[RunReport]) -> str:
             f"{100.0 * r.injected_ratio:>6.1f} {r.injector_wakes:>6d} "
             f"{r.evaluations:>6d}"
         )
+        if r.perf:
+            p = r.perf
+            lines.append(
+                "  host: "
+                f"wall {p.get('wall_s', 0.0):.3f}s | "
+                f"hierarchy {p.get('hierarchy_s', 0.0):.3f} | "
+                f"coherence {p.get('coherence_s', 0.0):.3f} | "
+                f"fault {p.get('fault_s', 0.0):.3f} "
+                f"(detect {p.get('detect_s', 0.0):.3f}) | "
+                f"spcd {p.get('spcd_s', 0.0):.3f} "
+                f"(match {p.get('match_s', 0.0):.3f}) | "
+                f"workload {p.get('workload_s', 0.0):.3f}"
+            )
         for err in r.errors:
             lines.append(f"  !! {err}")
     return "\n".join(lines)

@@ -1,0 +1,235 @@
+"""Differential tests: batched MESI drains vs the scalar drain.
+
+The batched drains (:attr:`CoherentHierarchy.batch_mesi`, the default) are
+a layer on top of the fast path: same-level L2-hit refill runs are
+collected and drained through batched L1 installs instead of the
+per-access loop.  ``REPRO_SLOW_MESI=1`` turns only this layer off, which
+makes the two modes directly comparable — these tests pin bit-identical
+MESI transitions, LRU decisions, dirty flags and counters at three
+levels: raw access streams against the hierarchy, full simulations on the
+paper's workloads, and the cache-level batch-install primitive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cachesim.cache import LegacySetAssocCache, SetAssocCache
+from repro.cachesim.hierarchy import CoherentHierarchy
+from repro.cachesim.stats import CacheStats
+from repro.engine.runner import run_single
+from repro.engine.settings import RunSettings
+from repro.engine.simulator import EngineConfig
+from repro.machine.cache_params import CacheParams
+from repro.machine.topology import build_machine
+from repro.units import KIB
+from repro.workloads.npb import make_npb
+from repro.workloads.producer_consumer import ProducerConsumerWorkload
+
+
+def parity_machine():
+    """Small enough to force evictions, enough L1 sets to form drain chunks."""
+    return build_machine(
+        2, 2, 2,
+        l1=CacheParams("L1", 2 * KIB, 2, 64, 2.0, 1),
+        l2=CacheParams("L2", 8 * KIB, 2, 64, 6.0, 2),
+        l3=CacheParams("L3", 16 * KIB, 4, 64, 15.0, 3),
+    )
+
+
+def hierarchy_snapshot(h: CoherentHierarchy) -> dict:
+    """Everything the MESI protocol can observe, in comparable form."""
+    snap = {
+        "stats": dataclasses.asdict(h.stats),
+        "sharers": dict(h._sharers),
+        "dirty_owner": dict(h._dirty_owner),
+    }
+    for group in (h.l1, h.l2, h.l3):
+        for cache in group:
+            resident = sorted(cache.resident_lines())
+            snap[cache.name] = (
+                cache.hits,
+                cache.misses,
+                cache.evictions,
+                resident,
+                [cache.is_dirty(line) for line in resident],
+            )
+    return snap
+
+
+def drain_heavy_stream(rng, n: int, write_p: float, lines_hi: int):
+    """RLE-friendly mix with read-only re-sweeps (the drained shape)."""
+    lines: list[int] = []
+    writes: list[int] = []
+    while len(lines) < n:
+        mode = rng.random()
+        if mode < 0.3:
+            line = int(rng.integers(0, lines_hi))
+            rep = int(rng.integers(1, 40))
+            lines += [line] * rep
+            writes += [int(rng.random() < write_p) for _ in range(rep)]
+        else:
+            base = int(rng.integers(0, lines_hi))
+            sweep_writes = mode < 0.65  # else: read-only re-sweep (L2 hits)
+            for k in range(int(rng.integers(16, 80))):
+                lines.append((base + k) % lines_hi)
+                writes.append(int(rng.random() < write_p) if sweep_writes else 0)
+    homes = [0] * n
+    return lines[:n], writes[:n], homes
+
+
+@pytest.mark.parametrize("write_p", [0.0, 0.05, 0.3])
+def test_hierarchy_streams_bit_identical(write_p):
+    """Batched drains == scalar drain == reference, on every observable."""
+    rng = np.random.default_rng(int(write_p * 100) + 17)
+    streams = [
+        [drain_heavy_stream(rng, 600, write_p, 512) for _ in range(8)]
+        for _ in range(5)
+    ]
+    snaps = []
+    for mode in ("batched", "scalar_drain", "reference"):
+        if mode == "reference":
+            h = CoherentHierarchy(parity_machine(), fast_path=False)
+        else:
+            h = CoherentHierarchy(
+                parity_machine(), fast_path=True, batch_mesi=mode == "batched"
+            )
+        for step in streams:
+            for pu, (lines, writes, homes) in enumerate(step):
+                h.access_batch_pu(pu, lines, writes, homes)
+        h.check_invariants()
+        snaps.append(hierarchy_snapshot(h))
+    assert snaps[0] == snaps[1]
+    assert snaps[0] == snaps[2]
+
+
+def test_drains_engage_on_l2_resident_sweeps():
+    """The batched path must actually exercise ``_drain_l2_hits`` here.
+
+    A cyclic read-only sweep of an L2-resident, L1-overflowing region is
+    the canonical refill pattern; if the drain gate never fires on it the
+    parity assertions above would be testing nothing.
+    """
+    machine = parity_machine()
+    h = CoherentHierarchy(machine, fast_path=True, batch_mesi=True)
+    drained = 0
+    original = h._drain_l2_hits
+
+    def counting(*args, **kwargs):
+        nonlocal drained
+        drained += 1
+        return original(*args, **kwargs)
+
+    h._drain_l2_hits = counting
+    n_l1 = (2 * KIB) // 64  # 32 lines
+    n = 3 * n_l1  # fits L2 (384 lines here), blows L1
+    lines = np.arange(n, dtype=np.int64)
+    writes = np.zeros(n, dtype=np.int64)
+    homes = np.zeros(n, dtype=np.int64)
+    # Warm the L2 in sub-BYPASS_MIN_BATCH slices: a cold full-size batch
+    # is all misses and would park the core in the adaptive bypass (where
+    # the probe machinery — and with it the drains — never runs).
+    for k in range(0, n, 32):
+        h.access_batch_pu(0, lines[k : k + 32], writes[k : k + 32], homes[k : k + 32])
+    for _ in range(6):
+        h.access_batch_pu(0, lines, writes, homes)
+    assert drained > 0
+    assert h.stats.l2_hits > 0
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [ProducerConsumerWorkload, lambda: make_npb("SP"), lambda: make_npb("CG")],
+    ids=["producer_consumer", "npb_sp", "npb_cg"],
+)
+def test_full_simulation_parity(factory):
+    """Full SPCD runs are field-identical across the drain modes."""
+    cfg = EngineConfig(steps=25, batch_size=128)
+    batched = run_single(
+        factory, "spcd", seed=99, config=cfg, settings=RunSettings(slow_mesi=False)
+    )
+    scalar = run_single(
+        factory, "spcd", seed=99, config=cfg, settings=RunSettings(slow_mesi=True)
+    )
+    for f in dataclasses.fields(CacheStats):
+        assert getattr(batched.stats, f.name) == getattr(scalar.stats, f.name), f.name
+    for metric in ("exec_time_s", "l2_mpki", "l3_mpki", "c2c_transactions"):
+        assert batched.metric(metric) == scalar.metric(metric)
+
+
+def test_slow_mesi_env_reaches_hierarchy(monkeypatch):
+    """REPRO_SLOW_MESI=1 must disable the drain layer (and only it)."""
+    monkeypatch.setenv("REPRO_SLOW_MESI", "1")
+    h = CoherentHierarchy(parity_machine())
+    assert h.fast_path and not h.batch_mesi
+    monkeypatch.delenv("REPRO_SLOW_MESI")
+    h = CoherentHierarchy(parity_machine())
+    assert h.fast_path and h.batch_mesi
+
+
+# ----------------------------------------------------------------------
+# cache-level primitives the drains are built on
+# ----------------------------------------------------------------------
+def test_insert_batch_matches_scalar_inserts():
+    """A distinct-set batched install == the same installs done one by one."""
+    params = CacheParams("L1", 2 * KIB, 2, 64, 2.0, 1)  # 16 sets
+    rng = np.random.default_rng(3)
+    batched = SetAssocCache(params, "b")
+    scalar = SetAssocCache(params, "s")
+    # Warm both with identical scalar traffic (occupies ways, sets ages).
+    warm = rng.integers(0, 200, size=300).astype(np.int64)
+    for line in warm.tolist():
+        for cache in (batched, scalar):
+            if not cache.lookup(line):
+                cache.insert(line, dirty=bool(line % 3 == 0))
+    # One batch: one line per set, fresh lines, mixed dirtiness.
+    lines = np.asarray([1000 + s for s in range(16)], dtype=np.int64)
+    dirty = np.asarray([s % 2 == 0 for s in range(16)])
+    batched.journal = set()
+    batched.insert_batch(lines, dirty)
+    for line, d in zip(lines.tolist(), dirty.tolist()):
+        scalar.insert(line, dirty=d)
+    assert sorted(batched.resident_lines()) == sorted(scalar.resident_lines())
+    for line in batched.resident_lines():
+        assert batched.is_dirty(line) == scalar.is_dirty(line)
+    assert batched.evictions == scalar.evictions
+    # Installed lines and victims are journaled (classification staleness).
+    assert set(lines.tolist()) <= batched.journal
+    # LRU order must survive: evict everything via fresh same-set traffic
+    # and check both caches choose the same victims in the same order.
+    victims_b: list[int] = []
+    victims_s: list[int] = []
+    for line in range(2000, 2064):
+        rb = batched.insert(line)
+        rs = scalar.insert(line)
+        victims_b.append(rb[0] if rb else -1)
+        victims_s.append(rs[0] if rs else -1)
+    assert victims_b == victims_s
+
+
+def test_legacy_journal_records_residency_changes():
+    """LegacySetAssocCache journals installs, victims, removes, flushes."""
+    params = CacheParams("L2", 1 * KIB, 2, 64, 6.0, 2)  # 8 sets, 16 lines
+    cache = LegacySetAssocCache(params, "j")
+    cache.journal = set()
+    cache.insert(5)
+    assert 5 in cache.journal
+    cache.journal.clear()
+    # Fill set 5's two ways, then overflow it: the victim is journaled.
+    cache.insert(5 + 8)
+    cache.journal.clear()
+    victim, _ = cache.insert(5 + 16)
+    assert victim == 5
+    assert {5, 5 + 16} <= cache.journal
+    cache.journal.clear()
+    cache.remove(5 + 8)  # returns the dirty flag, not presence
+    assert 5 + 8 in cache.journal
+    cache.remove(4040)  # absent line: no journal entry
+    assert 4040 not in cache.journal
+    cache.journal.clear()
+    resident = set(cache.resident_lines())
+    cache.flush()
+    assert resident <= cache.journal
