@@ -38,6 +38,7 @@ __all__ = [
     "ENV_SERVE_METRICS_PORT",
     "ENV_SERVE_PORT",
     "ENV_SERVE_SHARDS",
+    "ENV_SERVE_WORKERS",
     "ENV_SIM_SHARDS",
     "ENV_SLOW_HIERARCHY",
     "ENV_SLOW_MESI",
@@ -89,6 +90,8 @@ ENV_SERVE_SHARDS = "REPRO_SERVE_SHARDS"
 ENV_SERVE_EVAL_EVERY = "REPRO_SERVE_EVAL_EVERY"
 #: credit window granted to each client, in events
 ENV_SERVE_CREDIT_WINDOW = "REPRO_SERVE_CREDIT_WINDOW"
+#: detection worker processes behind the serve router (1 = single-process)
+ENV_SERVE_WORKERS = "REPRO_SERVE_WORKERS"
 
 _TRUE = ("1", "true", "yes", "on")
 _FALSE = ("", "0", "false", "no", "off")
@@ -193,6 +196,11 @@ class RunSettings:
     serve_eval_every: int = 8192
     #: per-client send window, in events (credit-based backpressure)
     serve_credit_window: int = 65536
+    #: detection worker processes behind the serve router; 1 runs the
+    #: classic single-process server (no router tier).  Deliberately NOT
+    #: capped at :func:`available_cpus` — routed parity tests and drills
+    #: legitimately oversubscribe a small host.
+    serve_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -225,6 +233,8 @@ class RunSettings:
             raise ConfigurationError("serve_eval_every must be >= 1")
         if self.serve_credit_window < 1:
             raise ConfigurationError("serve_credit_window must be >= 1")
+        if self.serve_workers < 1:
+            raise ConfigurationError("serve_workers must be >= 1")
 
     @classmethod
     def from_env(cls, environ: "dict[str, str] | None" = None) -> "RunSettings":
@@ -276,6 +286,7 @@ class RunSettings:
             serve_shards=_env_int(environ, ENV_SERVE_SHARDS, 4),
             serve_eval_every=_env_int(environ, ENV_SERVE_EVAL_EVERY, 8192),
             serve_credit_window=_env_int(environ, ENV_SERVE_CREDIT_WINDOW, 65536),
+            serve_workers=_env_int(environ, ENV_SERVE_WORKERS, 1),
         )
 
     def with_overrides(self, **overrides: object) -> "RunSettings":

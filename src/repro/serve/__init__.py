@@ -18,6 +18,10 @@ Layout:
 * :mod:`~repro.serve.evaluator` — evaluation gates + the offline replay;
 * :mod:`~repro.serve.server` — the daemon (admission, backpressure,
   drain);
+* :mod:`~repro.serve.router` — the multi-process tier: consistent-hash
+  tenant router, supervised detection workers, crash migration;
+* :mod:`~repro.serve.shm` — the shared-memory event ring under the
+  router's zero-copy hot path;
 * :mod:`~repro.serve.client` — sync and async clients + the synthetic
   load generator;
 * :mod:`~repro.serve.metrics` — the live metrics registry behind
@@ -35,14 +39,18 @@ from repro.serve.evaluator import (
 )
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.protocol import PROTOCOL_VERSION, EventBatch, Frame, MsgType
+from repro.serve.router import HashRing, RoutedMappingServer
 from repro.serve.server import MappingServer, ServeConfig
 from repro.serve.session import SessionConfig, ShardedShareTable, TenantSession
+from repro.serve.shm import EventRing
 
 __all__ = [
     "AsyncServeClient",
     "EvalCadence",
     "EventBatch",
+    "EventRing",
     "Frame",
+    "HashRing",
     "MappingEvaluator",
     "MappingServer",
     "MappingUpdate",
@@ -50,6 +58,7 @@ __all__ = [
     "MsgType",
     "PROTOCOL_VERSION",
     "ReplayResult",
+    "RoutedMappingServer",
     "ServeClient",
     "ServeConfig",
     "SessionConfig",

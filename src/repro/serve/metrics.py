@@ -226,7 +226,13 @@ class MetricsRegistry:
         return "\n".join(lines) + "\n"
 
     def snapshot(self) -> "dict[str, Any]":
-        """JSON-friendly dump: family -> list of {labels, value|histogram}."""
+        """JSON-friendly dump: family -> list of {labels, value|histogram}.
+
+        Histogram entries carry their cumulative per-bucket counts (bound
+        -> count, ``+Inf`` last) alongside sum/count, so the exposition
+        and the snapshot describe the same distribution — a snapshot
+        folded into a trace loses no latency information.
+        """
         out: dict[str, Any] = {}
         for name in sorted(self._families):
             family = self._families[name]
@@ -237,6 +243,12 @@ class MetricsRegistry:
                 if family.kind == "histogram":
                     entry["sum"] = child.sum
                     entry["count"] = child.count
+                    buckets = {
+                        repr(bound): cum
+                        for bound, cum in zip(child.buckets, child.counts)
+                    }
+                    buckets["+Inf"] = child.count
+                    entry["buckets"] = buckets
                 else:
                     entry["value"] = child.value
                 entries.append(entry)

@@ -27,7 +27,7 @@ import asyncio
 import json
 import socket
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Any
 
@@ -42,8 +42,10 @@ __all__ = [
     "MsgType",
     "PROTOCOL_VERSION",
     "decode_events",
+    "decode_events_scalar",
     "encode",
     "encode_events",
+    "events_body",
     "parse_body",
     "read_frame",
     "recv_frame",
@@ -87,16 +89,27 @@ class EventBatch:
     Mirrors the shape of :class:`repro.mem.fault.FaultBatch` — one thread,
     one timestamp, a vector of faulting virtual addresses — so a batch can
     be replayed through the offline detection engine unchanged.
+
+    ``raw`` is the wire body the batch was decoded from, when one exists:
+    the router forwards those bytes into a worker's shared-memory ring
+    verbatim, so the hot path never re-frames the payload.
     """
 
     tid: int
     now_ns: int
     vaddrs: np.ndarray
+    raw: "bytes | None" = field(default=None, compare=False, repr=False)
 
     @property
     def n_events(self) -> int:
         """Number of fault events in the batch."""
         return int(self.vaddrs.size)
+
+    def body(self) -> bytes:
+        """The struct-packed EVENTS body (``raw`` when present, else packed)."""
+        if self.raw is not None:
+            return self.raw
+        return events_body(self.tid, self.now_ns, self.vaddrs)
 
 
 @dataclass(frozen=True)
@@ -114,12 +127,16 @@ def encode(msg_type: MsgType, payload: "dict[str, Any] | None" = None) -> bytes:
     return _frame(msg_type, body)
 
 
-def encode_events(tid: int, now_ns: int, vaddrs: np.ndarray) -> bytes:
-    """Encode a fault event batch as a struct-packed EVENTS frame."""
+def events_body(tid: int, now_ns: int, vaddrs: np.ndarray) -> bytes:
+    """The struct-packed body of an EVENTS frame (header + big-endian i64s)."""
     vaddrs = np.ascontiguousarray(np.asarray(vaddrs, dtype=np.int64))
     body = _EVENTS_HEADER.pack(int(tid), int(now_ns), int(vaddrs.size))
-    body += vaddrs.astype(">i8", copy=False).tobytes()
-    return _frame(MsgType.EVENTS, body)
+    return body + vaddrs.astype(">i8", copy=False).tobytes()
+
+
+def encode_events(tid: int, now_ns: int, vaddrs: np.ndarray) -> bytes:
+    """Encode a fault event batch as a struct-packed EVENTS frame."""
+    return _frame(MsgType.EVENTS, events_body(tid, now_ns, vaddrs))
 
 
 def _frame(msg_type: MsgType, body: bytes) -> bytes:
@@ -129,8 +146,15 @@ def _frame(msg_type: MsgType, body: bytes) -> bytes:
 
 
 # -- decoding ---------------------------------------------------------------
-def decode_events(body: bytes) -> EventBatch:
-    """Decode the body of a struct-packed EVENTS frame."""
+def decode_events(body: "bytes | memoryview") -> EventBatch:
+    """Decode the body of a struct-packed EVENTS frame (vectorised).
+
+    The address vector is read in one ``np.frombuffer`` over the body —
+    a zero-copy view when *body* is a shared-memory ring record — with a
+    single ``astype`` to native byte order.  Accepts any buffer, so a
+    worker can decode directly out of the ring without materialising the
+    record first.
+    """
     if len(body) < _EVENTS_HEADER.size:
         raise ProtocolError("truncated EVENTS frame")
     tid, now_ns, n = _EVENTS_HEADER.unpack_from(body)
@@ -138,7 +162,29 @@ def decode_events(body: bytes) -> EventBatch:
     if len(payload) != 8 * n:
         raise ProtocolError(f"EVENTS frame declares {n} events, carries {len(payload)} bytes")
     vaddrs = np.frombuffer(payload, dtype=">i8").astype(np.int64)
-    return EventBatch(tid=tid, now_ns=now_ns, vaddrs=vaddrs)
+    raw = body if isinstance(body, bytes) else None
+    return EventBatch(tid=tid, now_ns=now_ns, vaddrs=vaddrs, raw=raw)
+
+
+def decode_events_scalar(body: "bytes | memoryview") -> EventBatch:
+    """Reference decoder: one ``struct`` unpack per event.
+
+    Kept only as the differential-testing twin of :func:`decode_events` —
+    the parity test asserts both produce bit-identical batches for any
+    body.  Never on the hot path.
+    """
+    if len(body) < _EVENTS_HEADER.size:
+        raise ProtocolError("truncated EVENTS frame")
+    tid, now_ns, n = _EVENTS_HEADER.unpack_from(body)
+    payload = body[_EVENTS_HEADER.size :]
+    if len(payload) != 8 * n:
+        raise ProtocolError(f"EVENTS frame declares {n} events, carries {len(payload)} bytes")
+    one = struct.Struct("!q")
+    vaddrs = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        vaddrs[i] = one.unpack_from(payload, 8 * i)[0]
+    raw = body if isinstance(body, bytes) else None
+    return EventBatch(tid=tid, now_ns=now_ns, vaddrs=vaddrs, raw=raw)
 
 
 def parse_body(type_byte: int, body: bytes) -> Frame:

@@ -62,6 +62,16 @@ class ServeConfig:
     credit_window: int = 65536
     #: seconds a drain waits for clients to finish before force-draining
     drain_grace_s: float = 5.0
+    #: detection worker processes behind the router (the routed server
+    #: only; :class:`MappingServer` itself ignores these four fields)
+    workers: int = 1
+    #: per-worker shared-memory event ring, in bytes
+    ring_bytes: int = 4 * 1024 * 1024
+    #: respawns a crashed worker gets before its tenants migrate away
+    worker_respawns: int = 2
+    #: base of the exponential respawn backoff (respawn *n* waits
+    #: ``respawn_backoff_s * 2**(n-1)`` seconds)
+    respawn_backoff_s: float = 0.25
 
     @classmethod
     def from_settings(cls, settings: RunSettings) -> "ServeConfig":
@@ -75,6 +85,7 @@ class ServeConfig:
             shards=settings.serve_shards,
             eval_every_events=settings.serve_eval_every,
             credit_window=settings.serve_credit_window,
+            workers=settings.serve_workers,
         )
 
 
@@ -172,8 +183,14 @@ class MappingServer:
                 max_sessions=cfg.max_sessions,
                 max_table_mb=cfg.max_table_mb,
                 shards=cfg.shards,
+                workers=self.n_workers,
             )
         )
+
+    @property
+    def n_workers(self) -> int:
+        """Detection worker processes; 0 for the single-process server."""
+        return 0
 
     @property
     def port(self) -> int:
@@ -242,6 +259,7 @@ class MappingServer:
         if self._metrics_server is not None:
             self._metrics_server.close()
             await self._metrics_server.wait_closed()
+        await self._shutdown_backend(reason)
         self.recorder.emit(
             ServeEnd(
                 reason=reason,
@@ -256,8 +274,15 @@ class MappingServer:
         self.recorder.close()
         self._drained.set()
 
+    async def _shutdown_backend(self, reason: str) -> None:
+        """Tear down the serving backend, just before the ServeEnd event.
+
+        The single-process server has no backend; the routed server
+        overrides this to stop its workers and release their rings.
+        """
+
     # -- admission ----------------------------------------------------------
-    def _admit(self, payload: "dict[str, Any]") -> TenantSession:
+    def _admit(self, payload: "dict[str, Any]") -> "tuple[str, SessionConfig]":
         cfg = self.config
         if self._draining:
             raise AdmissionError("server is draining", code="draining")
@@ -301,6 +326,15 @@ class MappingServer:
                 f"session needs {memory_mb:.1f} MiB, cap is {cfg.max_table_mb} MiB",
                 code="too-large",
             )
+        return tenant, session_cfg
+
+    def _make_session(self, tenant: str, session_cfg: SessionConfig) -> Any:
+        """Build the object owning an admitted tenant's detection state.
+
+        The single-process server runs the :class:`TenantSession` inline;
+        the routed server overrides this to place the session on a worker
+        and hand back a lightweight handle instead.
+        """
         return TenantSession(
             tenant,
             session_cfg,
@@ -322,7 +356,8 @@ class MappingServer:
             writer.close()
             return
         try:
-            session = self._admit(frame.payload)
+            tenant, session_cfg = self._admit(frame.payload)
+            session = self._make_session(tenant, session_cfg)
         except AdmissionError as exc:
             self.sessions_refused += 1
             self._m_refused.inc()
@@ -415,42 +450,49 @@ class MappingServer:
                 )
                 return
 
+    async def _ingest_batch(self, conn: _Connection, batch: EventBatch) -> None:
+        """Detect + evaluate one batch inline, then credit the client.
+
+        The routed server overrides this to forward the batch into the
+        assigned worker's ring instead (MAPPING/CREDIT then flow from the
+        worker's acknowledgements).
+        """
+        loop = asyncio.get_event_loop()
+        started = loop.time()
+        updates = conn.session.ingest(batch)
+        self._m_ingest.observe(loop.time() - started)
+        n = batch.n_events
+        conn.outstanding -= n
+        self.events_total += n
+        self.batches_total += 1
+        self._m_events.inc(n)
+        self._m_batches.inc()
+        for update in updates:
+            self.remaps_total += 1
+            self._m_remaps.inc()
+            await conn.send(protocol.encode(MsgType.MAPPING, update.to_payload()))
+        await conn.send(protocol.encode(MsgType.CREDIT, {"events": n}))
+
+    async def _flush_session(self, conn: _Connection) -> None:
+        """Force one evaluation now and acknowledge the FLUSH."""
+        update = conn.session.evaluate(force=True)
+        if update is not None:
+            self.remaps_total += 1
+            self._m_remaps.inc()
+            await conn.send(protocol.encode(MsgType.MAPPING, update.to_payload()))
+        await conn.send(
+            protocol.encode(MsgType.CREDIT, {"events": 0, "ack": "flush"})
+        )
+
     async def _process_loop(self, conn: _Connection) -> None:
         """Own all detection work and all writes for one connection."""
-        session = conn.session
-        loop = asyncio.get_event_loop()
         while True:
             kind, payload = await conn.queue.get()
             try:
                 if kind == "batch":
-                    batch: EventBatch = payload
-                    started = loop.time()
-                    updates = session.ingest(batch)
-                    self._m_ingest.observe(loop.time() - started)
-                    n = batch.n_events
-                    conn.outstanding -= n
-                    self.events_total += n
-                    self.batches_total += 1
-                    self._m_events.inc(n)
-                    self._m_batches.inc()
-                    for update in updates:
-                        self.remaps_total += 1
-                        self._m_remaps.inc()
-                        await conn.send(
-                            protocol.encode(MsgType.MAPPING, update.to_payload())
-                        )
-                    await conn.send(protocol.encode(MsgType.CREDIT, {"events": n}))
+                    await self._ingest_batch(conn, payload)
                 elif kind == "flush":
-                    update = session.evaluate(force=True)
-                    if update is not None:
-                        self.remaps_total += 1
-                        self._m_remaps.inc()
-                        await conn.send(
-                            protocol.encode(MsgType.MAPPING, update.to_payload())
-                        )
-                    await conn.send(
-                        protocol.encode(MsgType.CREDIT, {"events": 0, "ack": "flush"})
-                    )
+                    await self._flush_session(conn)
                 elif kind == "metrics":
                     await conn.send(
                         protocol.encode(
@@ -494,10 +536,16 @@ class MappingServer:
                 return
 
     async def _end_session(self, conn: _Connection, reason: str, notify: bool) -> None:
-        """Final evaluation, summary flush, trace event — one per session."""
+        """Terminal transition of one session (idempotent guard)."""
         if conn.ended:
             return
         conn.ended = True
+        await self._finalize_session(conn, reason, notify)
+
+    async def _finalize_session(
+        self, conn: _Connection, reason: str, notify: bool
+    ) -> None:
+        """Final evaluation, summary flush, trace event — one per session."""
         session = conn.session
         if reason in ("bye", "drain"):
             update = session.evaluate(force=True)

@@ -1,0 +1,261 @@
+"""Shared-memory ring buffer: the router → worker zero-copy event path.
+
+One :class:`EventRing` connects the router process to one detection
+worker.  The router appends variable-length records (a session id plus
+the verbatim EVENTS wire body); the worker maps the same segment and
+decodes each record **in place** — ``np.frombuffer`` over a memoryview of
+the shared pages — so event payloads cross the process boundary without
+being re-framed over a socket or pickled through a pipe.  The only copy
+on the path is the single ``memcpy`` that publishes the record into the
+ring (inherent to any ring) and the one ``astype`` that converts the
+wire's big-endian addresses to native order (inherent to the wire
+format; the single-process server pays the same one).
+
+Concurrency model — strictly single-producer / single-consumer, in the
+seqlock idiom:
+
+* ``tail`` is written only by the producer, ``head`` only by the
+  consumer; both are monotonically increasing absolute byte counters
+  (position = counter % capacity), stored as 8-byte aligned words so the
+  publishing store is a single machine write on every platform CPython
+  runs on;
+* the producer writes the record body *first* and publishes it by
+  advancing ``tail`` afterwards; the consumer reads ``tail`` first and
+  only then the bytes below it — a record is therefore never observed
+  half-written;
+* records are always **contiguous**: when a record would straddle the
+  wrap point the producer emits a 4-byte wrap marker (or, with fewer
+  than 4 bytes of tail room, relies on the implicit skip) and restarts
+  at offset 0.  The consumer applies the identical skip rule, so a
+  reader can never tear a frame at the wrap — pinned by the wrap tests
+  in ``tests/test_serve_router.py``.
+
+A record whose total footprint cannot fit the ring at all (oversize
+frame) is rejected with :class:`~repro.errors.ProtocolError` — the
+router turns that into an ERROR frame for the offending client instead
+of deadlocking on space that will never appear.
+"""
+
+from __future__ import annotations
+
+import struct
+from contextlib import contextmanager
+from multiprocessing import shared_memory
+from typing import Any
+
+from repro.errors import ConfigurationError, ProtocolError
+
+__all__ = ["EventRing", "RECORD_OVERHEAD"]
+
+#: ring header: tail (producer counter), head (consumer counter), capacity
+_CTRL = struct.Struct("<QQQ")
+#: control area is padded to cache-line granularity
+_HEADER_BYTES = 64
+#: per-record length prefix
+_LEN = struct.Struct("<I")
+#: a length value that can never be a real record: the wrap marker
+_WRAP_MARK = 0xFFFFFFFF
+#: bytes of ring space one record costs beyond its payload
+RECORD_OVERHEAD = _LEN.size
+
+_TAIL_OFF = 0
+_HEAD_OFF = 8
+_CAP_OFF = 16
+
+
+@contextmanager
+def _attacher_untracked():
+    """Suppress resource-tracker registration while *attaching* a segment.
+
+    ``SharedMemory(name=...)`` registers the segment with the resource
+    tracker even when it did not create it (python/cpython#82300), which
+    would unlink the segment out from under the creator — and with forked
+    workers the tracker process is *shared*, so even an unregister-after
+    workaround races the creator's own registration.  Only the creator
+    may own cleanup, so attachers simply never register.
+    """
+    try:
+        from multiprocessing import resource_tracker
+    except ImportError:  # pragma: no cover - always present on CPython
+        yield
+        return
+    original = resource_tracker.register
+
+    def register(name: str, rtype: str) -> None:
+        if rtype != "shared_memory":  # pragma: no cover - nothing else here
+            original(name, rtype)
+
+    resource_tracker.register = register
+    try:
+        yield
+    finally:
+        resource_tracker.register = original
+
+
+class EventRing:
+    """A single-producer single-consumer ring over ``SharedMemory``.
+
+    Create with :meth:`create` in the router, open with :meth:`attach`
+    (by name) in the worker.  The producer calls :meth:`try_push`; the
+    consumer alternates :meth:`pop` (a zero-copy view of the next record)
+    and :meth:`advance` (release it).  ``occupancy`` is readable from
+    either side — the router samples it into the per-worker ring gauge.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, *, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self._buf = shm.buf
+        (tail, head, capacity) = _CTRL.unpack_from(self._buf, 0)
+        if capacity == 0 or _HEADER_BYTES + capacity > shm.size:
+            raise ConfigurationError(f"segment {shm.name} is not an EventRing")
+        self.capacity = int(capacity)
+        self._pending: "int | None" = None  # advance target of the popped record
+
+    # -- lifecycle ----------------------------------------------------------
+    @classmethod
+    def create(cls, capacity: int) -> "EventRing":
+        """Allocate a fresh ring of *capacity* data bytes (router side)."""
+        if capacity < 4 * _LEN.size:
+            raise ConfigurationError("ring capacity is too small to hold any record")
+        shm = shared_memory.SharedMemory(create=True, size=_HEADER_BYTES + capacity)
+        _CTRL.pack_into(shm.buf, 0, 0, 0, capacity)
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "EventRing":
+        """Map an existing ring by segment name (worker side)."""
+        with _attacher_untracked():
+            shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, owner=False)
+
+    @property
+    def name(self) -> str:
+        """The shared-memory segment name (pass to :meth:`attach`)."""
+        return self._shm.name
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        self._buf = None  # release exported memoryviews before shm.close()
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - a pop() view is still live
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only; call after both sides close)."""
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    # -- counters -----------------------------------------------------------
+    def _load(self, offset: int) -> int:
+        return int.from_bytes(self._buf[offset : offset + 8], "little")
+
+    def _store(self, offset: int, value: int) -> None:
+        self._buf[offset : offset + 8] = value.to_bytes(8, "little")
+
+    @property
+    def occupancy(self) -> int:
+        """Bytes currently enqueued (published but not yet consumed)."""
+        return self._load(_TAIL_OFF) - self._load(_HEAD_OFF)
+
+    def max_record_bytes(self) -> int:
+        """Largest record payload this ring can ever carry."""
+        # worst case the record needs a wrap marker plus full tail room
+        return self.capacity - 2 * _LEN.size
+
+    # -- producer -----------------------------------------------------------
+    def _advance_of(self, counter: int, length: int) -> int:
+        """Total counter advance to place a *length*-byte record at *counter*."""
+        pos = counter % self.capacity
+        room = self.capacity - pos
+        if room < _LEN.size:
+            return room + _LEN.size + length  # implicit skip, record at 0
+        if room < _LEN.size + length:
+            return room + _LEN.size + length  # wrap marker, record at 0
+        return _LEN.size + length
+
+    def try_push(self, payload: "bytes | memoryview", *extra: "bytes | memoryview") -> bool:
+        """Publish one record of *payload* (+ *extra* parts); False when full.
+
+        Raises :class:`~repro.errors.ProtocolError` for a record that can
+        never fit, so callers distinguish "wait for the consumer" from
+        "reject the frame".
+        """
+        length = len(payload) + sum(len(e) for e in extra)
+        if length > self.max_record_bytes():
+            raise ProtocolError(
+                f"record of {length} bytes exceeds the ring's "
+                f"{self.max_record_bytes()}-byte record cap"
+            )
+        tail = self._load(_TAIL_OFF)
+        head = self._load(_HEAD_OFF)
+        advance = self._advance_of(tail, length)
+        if advance > self.capacity - (tail - head):
+            return False
+        pos = tail % self.capacity
+        room = self.capacity - pos
+        if room < _LEN.size:
+            pos = 0  # implicit skip: consumer applies the same rule
+        elif room < _LEN.size + length:
+            _LEN.pack_into(self._buf, _HEADER_BYTES + pos, _WRAP_MARK)
+            pos = 0
+        _LEN.pack_into(self._buf, _HEADER_BYTES + pos, length)
+        offset = _HEADER_BYTES + pos + _LEN.size
+        self._buf[offset : offset + len(payload)] = payload
+        offset += len(payload)
+        for part in extra:
+            self._buf[offset : offset + len(part)] = part
+            offset += len(part)
+        self._store(_TAIL_OFF, tail + advance)  # publish (single 8-byte store)
+        return True
+
+    # -- consumer -----------------------------------------------------------
+    def pop(self) -> "memoryview | None":
+        """A zero-copy view of the next record, or ``None`` when empty.
+
+        The view stays valid until :meth:`advance`; decode out of it
+        directly (``np.frombuffer`` accepts it) and advance only after
+        the record has been fully consumed.
+        """
+        if self._pending is not None:
+            raise ConfigurationError("pop() called before advance()")
+        head = self._load(_HEAD_OFF)
+        tail = self._load(_TAIL_OFF)
+        if head == tail:
+            return None
+        pos = head % self.capacity
+        room = self.capacity - pos
+        skipped = 0
+        if room < _LEN.size:
+            skipped, pos = room, 0
+        else:
+            (length,) = _LEN.unpack_from(self._buf, _HEADER_BYTES + pos)
+            if length == _WRAP_MARK:
+                skipped, pos = room, 0
+        (length,) = _LEN.unpack_from(self._buf, _HEADER_BYTES + pos)
+        start = _HEADER_BYTES + pos + _LEN.size
+        self._pending = head + skipped + _LEN.size + length
+        return self._buf[start : start + length]
+
+    def advance(self) -> None:
+        """Release the record returned by the last :meth:`pop`."""
+        if self._pending is None:
+            raise ConfigurationError("advance() without a pending pop()")
+        self._store(_HEAD_OFF, self._pending)
+        self._pending = None
+
+    # -- diagnostics --------------------------------------------------------
+    def stats(self) -> "dict[str, Any]":
+        """Occupancy snapshot (router-side metrics sampling)."""
+        tail = self._load(_TAIL_OFF)
+        head = self._load(_HEAD_OFF)
+        return {
+            "capacity": self.capacity,
+            "occupancy": tail - head,
+            "fill": (tail - head) / self.capacity,
+            "pushed_bytes": tail,
+        }

@@ -13,6 +13,7 @@ from repro.engine.settings import (
     ENV_GRID_WORKERS,
     ENV_RESULT_CACHE,
     ENV_RETRY_BACKOFF,
+    ENV_SERVE_WORKERS,
     ENV_SLOW_HIERARCHY,
     ENV_SLOW_SPCD,
     ENV_TRACE,
@@ -70,6 +71,18 @@ def test_env_workers_is_capped_at_available_cpus():
     assert s.workers == min(10000, available_cpus())
     # an explicitly constructed instance is honored verbatim
     assert RunSettings(workers=10000).workers == 10000
+
+
+def test_serve_workers_from_env():
+    assert RunSettings.from_env({}).serve_workers == 1
+    s = RunSettings.from_env({ENV_SERVE_WORKERS: "4"})
+    # deliberately NOT capped at available_cpus: detection workers are
+    # I/O-interleaved with the router, and the parity tests oversubscribe
+    assert s.serve_workers == 4
+    with pytest.raises(ConfigurationError, match="bad REPRO_SERVE_WORKERS"):
+        RunSettings.from_env({ENV_SERVE_WORKERS: "two"})
+    with pytest.raises(ConfigurationError):
+        RunSettings(serve_workers=0)
 
 
 @pytest.mark.parametrize(

@@ -29,6 +29,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
+from repro.engine.settings import RunSettings  # noqa: E402
 from repro.serve import (  # noqa: E402
     ServeClient,
     SessionConfig,
@@ -40,6 +41,9 @@ N_THREADS = 8
 EVENTS_PER_THREAD = 20_000
 TABLE_SIZE = 10_000
 EVAL_EVERY = 4_096
+#: REPRO_SERVE_WORKERS>1 smokes the routed multi-process tier instead —
+#: same assertions, same digests (that's the point)
+WORKERS = RunSettings.from_env().serve_workers
 
 
 def _start_daemon(trace: Path) -> "tuple[subprocess.Popen, int]":
@@ -68,6 +72,10 @@ def _start_daemon(trace: Path) -> "tuple[subprocess.Popen, int]":
     if not match:
         proc.kill()
         raise AssertionError(f"no ready line from daemon, got: {ready!r}")
+    if WORKERS > 1:
+        assert f"workers={WORKERS}" in ready, (
+            f"routed daemon's ready line lacks workers={WORKERS}: {ready!r}"
+        )
     return proc, int(match.group(1))
 
 
@@ -138,6 +146,10 @@ def main() -> int:
         types = [e["type"] for e in events]
         assert types[0] == "serve_start", types[:3]
         assert types[-1] == "serve_end", types[-3:]
+        assert events[0].get("workers", 0) == (WORKERS if WORKERS > 1 else 0)
+        if WORKERS > 1:
+            spawns = types.count("serve_worker_start")
+            assert spawns == WORKERS, f"{spawns} worker starts, expected {WORKERS}"
         session_ends = [e for e in events if e["type"] == "serve_session_end"]
         assert len(session_ends) == 3, f"{len(session_ends)} session_end events"
         drained = [e for e in session_ends if e["reason"] == "drain"]
