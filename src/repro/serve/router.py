@@ -412,8 +412,17 @@ class RoutedMappingServer(MappingServer):
         for handle in self._workers.values():
             if handle.consumer is not None:
                 handle.consumer.cancel()
-            if handle.sup is not None:
-                handle.sup.terminate()
+        # terminate() joins with a 5 s timeout (twice, after SIGKILL); run
+        # it off-loop so a worker stuck in uninterruptible sleep cannot
+        # stall every client connection
+        await asyncio.gather(
+            *(
+                asyncio.to_thread(handle.sup.terminate)
+                for handle in self._workers.values()
+                if handle.sup is not None
+            )
+        )
+        for handle in self._workers.values():
             self._close_plumbing(handle)
             if handle.m_sessions is not None:
                 handle.m_sessions.set(0)
@@ -659,6 +668,7 @@ class RoutedMappingServer(MappingServer):
 
     async def _push_record(self, sess: _RemoteSession, record: bytes) -> None:
         """Publish one ring record, waiting out a full ring."""
+        delay = 0.0002
         while True:
             handle = self._live_worker(sess)
             if handle.ring.try_push(record):
@@ -666,7 +676,11 @@ class RoutedMappingServer(MappingServer):
                 handle.m_batches.inc()
                 handle.m_ring.set(handle.ring.occupancy)
                 return
-            await asyncio.sleep(0.0002)  # ring full: the worker is draining it
+            # ring full: the worker is draining it.  Exponential backoff
+            # keeps a slow or stalled worker from turning the event loop
+            # into a hot spin; a crash wakes the pump via _WorkerGone.
+            await asyncio.sleep(delay)
+            delay = min(delay * 2, 0.004)
 
     async def _pump(self, sess: _RemoteSession) -> None:
         """Forward every not-yet-forwarded journal entry, in order.
@@ -695,7 +709,7 @@ class RoutedMappingServer(MappingServer):
         sess: _RemoteSession = conn.session
         validate_tid(batch.tid, sess.config.n_threads)
         record = _SID.pack(sess.session_id) + batch.body()
-        cap = self.config.ring_bytes - 2 * _SID.size
+        cap = EventRing.record_cap(self.config.ring_bytes)
         if len(record) > cap:
             raise ProtocolError(
                 f"EVENTS frame of {len(record)} bytes exceeds the worker ring's "
@@ -811,7 +825,8 @@ class RoutedMappingServer(MappingServer):
             return  # drain tears workers down itself; EOFs there are expected
         handle.crashed = True
         self.workers_crashed += 1
-        handle.sup.terminate()  # reap the zombie
+        # reap the zombie off-loop: terminate() blocks in proc.join()
+        await asyncio.to_thread(handle.sup.terminate)
         exitcode = handle.sup.proc.exitcode if handle.sup.proc is not None else None
         self._close_plumbing(handle)
         affected = [
@@ -850,6 +865,23 @@ class RoutedMappingServer(MappingServer):
             await asyncio.sleep(backoff)
             handle.m_respawns.inc()
             handle.sup.start()  # fresh ring + pipes via the factory
+            # re-snapshot: sessions admitted during the reap/backoff awaits
+            # also live on this worker and lost their open command to the
+            # dead pipe, so they need the same re-open + replay treatment
+            affected = [
+                self._remote_sessions[sid]
+                for sid in sorted(handle.sessions)
+                if sid in self._remote_sessions
+            ]
+            # install every session's replay state *before* the handle is
+            # marked live again: until _attach_worker clears handle.crashed,
+            # a concurrent live _pump faults on _live_worker instead of
+            # forwarding stale journal entries (forwarded not yet reset, no
+            # open sent) that the fresh worker would orphan-ack — which
+            # would credit clients for unprocessed events and make the real
+            # replay suppress genuine acks
+            for sess in affected:
+                await self._prepare_replay(sess, handle.worker_id)
             self._attach_worker(handle)
             self.recorder.emit(
                 ServeWorkerStart(
@@ -860,19 +892,21 @@ class RoutedMappingServer(MappingServer):
                 )
             )
             for sess in affected:
-                await self._replay_session(sess, handle.worker_id, reason="respawn")
+                await self._replay_session(
+                    sess, handle.worker_id, reason="respawn", prepared=True
+                )
 
-    async def _replay_session(
-        self, sess: _RemoteSession, worker_id: int, reason: str
-    ) -> None:
-        """Re-open the session on *worker_id* and replay its whole journal.
+    async def _prepare_replay(self, sess: _RemoteSession, worker_id: int) -> None:
+        """Install *sess*'s replay state for its next home on *worker_id*.
 
-        Responses regenerated for work delivered before the crash are
-        suppressed by count — replay is deterministic and FIFO, so the
-        first ``acked_batches`` acks (and ``acked_flushes`` flush results,
-        and ``traces_emitted`` trace events) are exactly the duplicates.
+        Runs while the session's previous worker is still marked crashed
+        (or already retired) so no live pump can interleave: resets the
+        forwarded/unacked counters, arms response suppression for work
+        the client was already credited for, and re-opens the worker-side
+        session.  Only after this may the target see the session's ring
+        records — otherwise stale journal entries (forwarded not reset,
+        no open sent) would be orphan-acked without being ingested.
         """
-        from_worker = sess.worker_id
         target = self._workers[worker_id]
         async with sess.lock:  # wait out any in-flight pump
             if sess.worker_id != worker_id:
@@ -888,6 +922,22 @@ class RoutedMappingServer(MappingServer):
             sess.suppress_flushes = sess.acked_flushes
             sess.suppress_traces = sess.traces_emitted
             self._send_cmd(target, ("open", sess.session_id, sess.tenant, sess.config))
+
+    async def _replay_session(
+        self, sess: _RemoteSession, worker_id: int, reason: str, *, prepared: bool = False
+    ) -> None:
+        """Re-open the session on *worker_id* and replay its whole journal.
+
+        Responses regenerated for work delivered before the crash are
+        suppressed by count — replay is deterministic and FIFO, so the
+        first ``acked_batches`` acks (and ``acked_flushes`` flush results,
+        and ``traces_emitted`` trace events) are exactly the duplicates.
+        With ``prepared=True`` the replay state was already installed (the
+        respawn path prepares every session before the worker goes live).
+        """
+        from_worker = sess.worker_id
+        if not prepared:
+            await self._prepare_replay(sess, worker_id)
         self.tenants_migrated += 1
         self._m_migrated.inc()
         self.recorder.emit(

@@ -30,10 +30,14 @@ seqlock idiom:
   reader can never tear a frame at the wrap — pinned by the wrap tests
   in ``tests/test_serve_router.py``.
 
-A record whose total footprint cannot fit the ring at all (oversize
+A record larger than :meth:`EventRing.max_record_bytes` (oversize
 frame) is rejected with :class:`~repro.errors.ProtocolError` — the
 router turns that into an ERROR frame for the offending client instead
-of deadlocking on space that will never appear.
+of deadlocking on space that will never appear.  The cap is
+**position-independent** (``capacity // 2 - 8``): any record under it
+fits at every tail offset, including the worst case where a wrap marker
+burns the whole tail room, so a full ring always drains and ``try_push``
+can never return ``False`` forever.
 """
 
 from __future__ import annotations
@@ -116,7 +120,7 @@ class EventRing:
     @classmethod
     def create(cls, capacity: int) -> "EventRing":
         """Allocate a fresh ring of *capacity* data bytes (router side)."""
-        if capacity < 4 * _LEN.size:
+        if cls.record_cap(capacity) < 1:
             raise ConfigurationError("ring capacity is too small to hold any record")
         shm = shared_memory.SharedMemory(create=True, size=_HEADER_BYTES + capacity)
         _CTRL.pack_into(shm.buf, 0, 0, 0, capacity)
@@ -162,10 +166,24 @@ class EventRing:
         """Bytes currently enqueued (published but not yet consumed)."""
         return self._load(_TAIL_OFF) - self._load(_HEAD_OFF)
 
+    @staticmethod
+    def record_cap(capacity: int) -> int:
+        """Largest payload guaranteed to fit a *capacity*-byte ring at
+        **any** tail position.
+
+        Worst case the record needs a wrap marker plus the full tail
+        room it skips: advance = room + len_prefix + L with
+        room < len_prefix + L, so the advance stays within an
+        otherwise-empty ring iff 2 * (len_prefix + L) <= capacity.  A
+        position-dependent cap would livelock: a larger record could
+        pass the check yet never fit once the tail drifted near the
+        wrap point, and try_push would return False forever.
+        """
+        return capacity // 2 - 2 * _LEN.size
+
     def max_record_bytes(self) -> int:
-        """Largest record payload this ring can ever carry."""
-        # worst case the record needs a wrap marker plus full tail room
-        return self.capacity - 2 * _LEN.size
+        """Largest record payload this ring can carry at any offset."""
+        return self.record_cap(self.capacity)
 
     # -- producer -----------------------------------------------------------
     def _advance_of(self, counter: int, length: int) -> int:

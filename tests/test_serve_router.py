@@ -70,12 +70,13 @@ class TestEventRing:
     def test_full_ring_returns_false_then_accepts_after_drain(self):
         ring, peer = self._pair(64)
         try:
-            assert ring.try_push(b"x" * 40)
-            assert not ring.try_push(b"y" * 40)  # full, not an error
+            assert ring.try_push(b"x" * 24)  # max record: 28-byte footprint
+            assert ring.try_push(b"x" * 24)
+            assert not ring.try_push(b"y" * 24)  # full, not an error
             view = peer.pop()
             del view
             peer.advance()
-            assert ring.try_push(b"y" * 40)
+            assert ring.try_push(b"y" * 24)
         finally:
             self._teardown(ring, peer)
 
@@ -83,8 +84,37 @@ class TestEventRing:
         ring, peer = self._pair(64)
         try:
             with pytest.raises(ProtocolError):
-                ring.try_push(b"z" * 57)  # > capacity - 2 * 4
+                ring.try_push(b"z" * 57)  # > capacity // 2 - 2 * 4
             assert ring.try_push(b"z" * ring.max_record_bytes())
+        finally:
+            self._teardown(ring, peer)
+
+    def test_max_record_fits_at_any_tail_offset(self):
+        """The record cap is position-independent (livelock regression).
+
+        A payload in ``(capacity//2 - 8, capacity - 8]`` used to pass the
+        cap yet could never fit once the tail drifted near the wrap point
+        — try_push returned False forever on an otherwise-empty ring.  It
+        must be rejected up front, and a cap-sized record must fit an
+        empty ring regardless of where the tail sits.
+        """
+        ring, peer = self._pair(4096)
+        try:
+            with pytest.raises(ProtocolError):
+                ring.try_push(b"z" * 3000)  # livelocked under the old cap
+            cap = ring.max_record_bytes()
+            assert cap == 4096 // 2 - 8
+            for step in (1996, 1, 37, 500, cap):
+                assert ring.try_push(b"s" * step)
+                view = peer.pop()
+                del view
+                peer.advance()
+                # ring now empty with the tail at an arbitrary offset
+                assert ring.try_push(b"m" * cap)
+                view = peer.pop()
+                assert len(view) == cap
+                del view
+                peer.advance()
         finally:
             self._teardown(ring, peer)
 
@@ -95,7 +125,7 @@ class TestEventRing:
             rng = np.random.default_rng(7)
             expected = []
             for i in range(500):
-                payload = bytes([i % 251]) * int(rng.integers(1, 60))
+                payload = bytes([i % 251]) * int(rng.integers(1, 57))
                 while not ring.try_push(payload):
                     view = peer.pop()
                     assert view is not None
@@ -115,20 +145,21 @@ class TestEventRing:
 
     def test_wrap_marker_exact_boundary(self):
         """A record landing exactly at the end never splits."""
-        ring, peer = self._pair(64)
+        ring, peer = self._pair(128)
         try:
-            # 4-byte prefix + 28 payload = 32; two fill the ring exactly
-            for _ in range(2):
+            # 4-byte prefix + 28 payload = 32; four fill the ring exactly
+            for _ in range(4):
                 assert ring.try_push(b"a" * 28)
             view = peer.pop()
             del view
             peer.advance()
             # next record starts at offset 0 again via the implicit wrap
             assert ring.try_push(b"b" * 20)
-            view = peer.pop()
-            assert bytes(view) == b"a" * 28
-            del view
-            peer.advance()
+            for _ in range(3):
+                view = peer.pop()
+                assert bytes(view) == b"a" * 28
+                del view
+                peer.advance()
             view = peer.pop()
             assert bytes(view) == b"b" * 20
             del view
@@ -151,6 +182,8 @@ class TestEventRing:
     def test_too_small_capacity_rejected(self):
         with pytest.raises(ConfigurationError):
             EventRing.create(8)
+        with pytest.raises(ConfigurationError):
+            EventRing.create(16)  # record cap would be zero
 
     def test_stats_shape(self):
         ring = EventRing.create(256)
@@ -563,6 +596,61 @@ class TestCrashRecovery:
         assert summary["matrix_digest"] == ref.final_digest
         assert summary["mapping"] == ref.final_mapping
         assert summary["events"] == 8 * 4_000
+
+    def test_multi_tenant_crash_replay_with_concurrent_pumps(self, machine):
+        """All tenants on a crashed worker recover while streaming live.
+
+        Regression for the replay race: while one session's journal
+        replays into the respawned worker, live pumps for the other
+        not-yet-replayed sessions must not forward stale entries (which
+        the worker would orphan-ack, crediting clients for unprocessed
+        events and making the replay suppress genuine acks — silently
+        dropping MAPPING updates).  Every tenant's digest must match the
+        offline reference exactly.
+        """
+        streams = {
+            f"t{i}": list(synthetic_fault_stream(8, 3_000, seed=50 + i))
+            for i in range(3)
+        }
+        half = {name: len(s) // 2 for name, s in streams.items()}
+
+        async def scenario():
+            async with RoutedMappingServer(
+                _config(workers=1, worker_respawns=2), machine=machine
+            ) as server:
+                clients = {
+                    name: await AsyncServeClient.connect(
+                        "127.0.0.1",
+                        server.port,
+                        tenant=name,
+                        n_threads=8,
+                        config=OVERRIDES,
+                    )
+                    for name in streams
+                }
+                for name, client in clients.items():
+                    for tid, now_ns, vaddrs in streams[name][: half[name]]:
+                        await client.send_events(tid, now_ns, vaddrs)
+                _Crasher(server).kill_hosting_worker()
+
+                async def finish(name, client):
+                    for tid, now_ns, vaddrs in streams[name][half[name] :]:
+                        await client.send_events(tid, now_ns, vaddrs)
+                    await client.flush()
+                    return await client.close()
+
+                summaries = await asyncio.gather(
+                    *(finish(name, client) for name, client in clients.items())
+                )
+                return summaries, server.workers_crashed, server.tenants_migrated
+
+        summaries, crashed, migrated = asyncio.run(scenario())
+        assert crashed == 1 and migrated == 3
+        for (name, stream), summary in zip(streams.items(), summaries):
+            ref = self._reference(machine, stream)
+            assert summary["matrix_digest"] == ref.final_digest
+            assert summary["mapping"] == ref.final_mapping
+            assert summary["events"] == 8 * 3_000
 
     def test_exhausted_budget_migrates_to_surviving_worker(self, machine):
         """With zero respawns the tenant replays into the next worker."""
