@@ -1,0 +1,56 @@
+"""Exhaustive small-model checking of the concurrency-critical subsystems.
+
+Commuter-style correctness harness (``/root/related``'s commuter model-checks
+a POSIX fs the same way): every concurrency-critical state machine in the
+repo is paired with a **trivially-correct Python model** and driven through
+either hypothesis stateful exploration or brute-force enumeration of the
+interleavings hypothesis cannot shrink well.  The four subsystems under
+check, and their models:
+
+* :class:`~repro.serve.shm.EventRing` (router → worker SPSC ring) vs
+  :class:`RingModel` — a deque of payloads plus two absolute byte counters;
+* serve admission / credit-window / drain
+  (:class:`~repro.serve.server.MappingServer`) vs :class:`ServeModel` — an
+  explicit transition table;
+* :class:`~repro.engine.checkpoint.GridManifest` crash-resume vs
+  :func:`manifest_prefix_model` — the documented durability contract
+  evaluated over every byte-truncation of the file;
+* shard-count invariance (:class:`~repro.serve.session.ShardedShareTable`,
+  ``REPRO_SIM_SHARDS``) via :func:`session_shard_trace` /
+  :func:`parsim_result_digest` digest sweeps, and TLB-shootdown ×
+  fault-injection interleavings via :func:`check_tlb_fault_interleavings`.
+
+The drivers live in ``tests/model/``; this package holds only the models
+and enumerators so regression tests (and future subsystems) can import
+them.  The pattern for adding a model is documented in DESIGN.md §13.
+"""
+
+from repro.check.interleave import (
+    Counterexample,
+    check_tlb_fault_interleavings,
+    interleavings,
+    op_sequences,
+)
+from repro.check.models import RingModel, ServeModel
+from repro.check.sweeps import parsim_result_digest, session_shard_trace
+from repro.check.truncate import (
+    manifest_prefix_model,
+    truncation_sweep,
+    with_duplicate_header,
+    with_midfile_header,
+)
+
+__all__ = [
+    "Counterexample",
+    "RingModel",
+    "ServeModel",
+    "check_tlb_fault_interleavings",
+    "interleavings",
+    "manifest_prefix_model",
+    "op_sequences",
+    "parsim_result_digest",
+    "session_shard_trace",
+    "truncation_sweep",
+    "with_duplicate_header",
+    "with_midfile_header",
+]

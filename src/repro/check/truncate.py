@@ -1,0 +1,149 @@
+"""Kill-at-every-byte truncation enumeration for checkpoint manifests.
+
+The manifest durability contract (``engine/checkpoint.py`` docstring) is
+stated per *write boundary*: a record is one ``write`` + ``fsync``, so a
+kill at any instant leaves a byte-prefix of the file and loading that
+prefix must recover every fully-written record and nothing else.  The
+enumerator here checks the contract literally — it cuts the file at
+**every** byte offset and compares :class:`~repro.engine.checkpoint.GridManifest`
+against :func:`manifest_prefix_model`, a restatement of the documented
+load rules simple enough to eyeball:
+
+* only the file's first line may be a header; it must name this exact
+  grid, else the whole file is stale and is reset;
+* any later line that is not a well-formed record object — a torn tail,
+  a duplicate header from two racing writers, garbage — is skipped;
+* the newest record per cell key wins.
+
+Corruption helpers (:func:`with_duplicate_header`,
+:func:`with_midfile_header`) synthesize the racing-writer shapes the
+sweep then truncates at every byte as well.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import Iterator
+
+from repro.engine.checkpoint import MANIFEST_VERSION, GridManifest
+
+__all__ = [
+    "manifest_prefix_model",
+    "truncation_sweep",
+    "with_duplicate_header",
+    "with_midfile_header",
+]
+
+
+def manifest_prefix_model(
+    data: bytes, grid_key: str
+) -> "tuple[bool, dict[str, dict]]":
+    """Expected ``(header_ok, records)`` after loading a file of *data*.
+
+    ``header_ok`` False means the loader must treat the file as stale
+    (reset it and report no records).  *data* is usually a byte-prefix of
+    a real manifest; a cut can land anywhere, including inside a
+    multi-byte UTF-8 sequence, so decoding is per the tolerant contract —
+    a mangled line is a torn line, never a failed load.
+    """
+    text = data.decode("utf-8", errors="replace")
+    header_ok = False
+    records: "dict[str, dict]" = {}
+    for i, line in enumerate(text.splitlines()):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(obj, dict):
+            continue
+        if i == 0:
+            header_ok = (
+                obj.get("type") == "manifest"
+                and obj.get("version") == MANIFEST_VERSION
+                and obj.get("grid_key") == grid_key
+            )
+            continue
+        if not header_ok:
+            break
+        try:
+            records[str(obj["key"])] = {
+                "key": str(obj["key"]),
+                "workload": str(obj.get("workload", "?")),
+                "policy": str(obj.get("policy", "?")),
+                "rep": int(obj.get("rep", 0)),
+                "status": str(obj.get("status", "")),
+                "attempts": int(obj.get("attempts", 1)),
+                "error": str(obj.get("error", "")),
+            }
+        except (KeyError, TypeError, ValueError):
+            continue
+    return header_ok, (records if header_ok else {})
+
+
+def truncation_sweep(
+    path: "str | os.PathLike", grid_key: str, byte_step: int = 1
+) -> "Iterator[tuple[int, dict[str, dict], dict[str, dict]]]":
+    """Load every *byte_step*-spaced byte-prefix of the manifest at *path*.
+
+    Yields ``(cut, actual, expected)`` per prefix length ``cut`` — the
+    records :class:`GridManifest` recovered from the truncated copy and
+    the records :func:`manifest_prefix_model` says it must recover.  The
+    sweep always includes the empty and full-length prefixes.  Cutting is
+    done on a scratch copy; *path* itself is never modified.
+    """
+    data = Path(path).read_bytes()
+    cuts = sorted(set(range(0, len(data) + 1, byte_step)) | {len(data)})
+    fd, scratch = tempfile.mkstemp(
+        prefix="truncsweep-", suffix=".jsonl", dir=Path(path).parent
+    )
+    os.close(fd)
+    scratch_path = Path(scratch)
+    try:
+        for cut in cuts:
+            scratch_path.write_bytes(data[:cut])
+            manifest = GridManifest(scratch_path, grid_key)
+            manifest.close()
+            actual = {k: asdict(r) for k, r in manifest.records.items()}
+            _, expected = manifest_prefix_model(data[:cut], grid_key)
+            yield cut, actual, expected
+    finally:
+        scratch_path.unlink(missing_ok=True)
+
+
+def _header_line(grid_key: str, version: int = MANIFEST_VERSION) -> bytes:
+    header = {"type": "manifest", "version": version, "grid_key": grid_key}
+    return json.dumps(header, separators=(",", ":")).encode() + b"\n"
+
+
+def _insert_mid(data: bytes, line: bytes) -> bytes:
+    """Insert *line* at *data*'s middle line boundary (not first, not last)."""
+    lines = data.split(b"\n")
+    at = max(1, len(lines) // 2)
+    return b"\n".join(lines[:at]) + b"\n" + line + b"\n".join(lines[at:])
+
+
+def with_duplicate_header(data: bytes, grid_key: str) -> bytes:
+    """Manifest bytes with a second, *matching* header mid-file.
+
+    The shape two writers racing on an empty file produce: both observe
+    ``st_size == 0`` and both write the header.  Every record around the
+    duplicate must still load.
+    """
+    return _insert_mid(data, _header_line(grid_key))
+
+
+def with_midfile_header(data: bytes, grid_key: str) -> bytes:
+    """Manifest bytes with a *mismatched* header line mid-file.
+
+    A mid-file header naming another grid (or version) is garbage, not a
+    re-binding: it must neither drop the records after it nor condemn the
+    file to a reset.
+    """
+    return _insert_mid(data, _header_line(grid_key + "-stale", MANIFEST_VERSION + 1))

@@ -88,9 +88,12 @@ class GridManifest:
         header_ok = False
         records: dict[str, CellRecord] = {}
         try:
-            lines = self.path.read_text(encoding="utf-8").splitlines()
+            raw = self.path.read_bytes()
         except OSError:
             return
+        # tolerant decode: a torn or corrupt line must never fail the whole
+        # load (json.dumps output is ASCII, so intact records are unaffected)
+        lines = raw.decode("utf-8", errors="replace").splitlines()
         for i, line in enumerate(lines):
             line = line.strip()
             if not line:
@@ -99,7 +102,13 @@ class GridManifest:
                 obj = json.loads(line)
             except json.JSONDecodeError:
                 continue  # torn tail from a killed writer
-            if i == 0 or obj.get("type") == "manifest":
+            if not isinstance(obj, dict):
+                continue  # valid JSON but not a record ("0", "[]", ...)
+            if i == 0:
+                # only the file's first line is the header; a later
+                # "type": "manifest" line (two writers racing on an empty
+                # file, or stray garbage) is just a non-record line and
+                # must neither re-bind the grid nor drop the record tail
                 header_ok = (
                     obj.get("type") == "manifest"
                     and obj.get("version") == MANIFEST_VERSION
@@ -141,7 +150,17 @@ class GridManifest:
         if self._file is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             fresh = not self.path.exists()
+            torn_tail = False
+            if not fresh and self.path.stat().st_size > 0:
+                with open(self.path, "rb") as raw:
+                    raw.seek(-1, os.SEEK_END)
+                    torn_tail = raw.read(1) != b"\n"
             self._file = open(self.path, "a", encoding="utf-8")
+            if torn_tail:
+                # seal a torn final line (killed mid-write) before appending:
+                # without this the next record glues onto the fragment and a
+                # later resume silently loses it, despite its fsync
+                self._file.write("\n")
             if fresh or self.path.stat().st_size == 0:
                 header = {
                     "type": "manifest",

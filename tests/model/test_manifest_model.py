@@ -1,0 +1,224 @@
+"""GridManifest vs an in-memory dict, plus the byte-truncation enumerator.
+
+The stateful machine interleaves records, reloads, simulated kills (torn
+tails), duplicate headers from racing writers and stray mid-file header
+lines — after every reload the real manifest must agree with a plain
+dict.  The enumerator tests then prove the durability contract at *every*
+byte offset, not just the line boundaries the stateful machine hits.
+
+Pinned regressions (plain tests, no hypothesis) for the two bugs this
+harness found:
+
+* a mismatched mid-file header line used to reset ``header_ok`` and drop
+  every record after it — and unlink the whole file;
+* appending after a torn tail used to glue the new record onto the
+  fragment, silently losing a durably-fsynced record on the next resume.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.check import (
+    manifest_prefix_model,
+    truncation_sweep,
+    with_duplicate_header,
+    with_midfile_header,
+)
+from repro.engine.checkpoint import DONE, FAILED, MANIFEST_VERSION, CellRecord, GridManifest
+
+GRID_KEY = "modelcheck-grid"
+KEYS = [f"cell{i}" for i in range(6)]
+
+
+def _rec(key: str, status: str, attempts: int, error: str = "") -> CellRecord:
+    return CellRecord(
+        key=key, workload="w", policy="p", rep=0,
+        status=status, attempts=attempts, error=error,
+    )
+
+
+class ManifestParity(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        import tempfile
+        from pathlib import Path
+
+        self.dir = Path(tempfile.mkdtemp(prefix="manifest-model-"))
+        self.path = self.dir / "manifest.jsonl"
+        self.manifest = GridManifest(self.path, GRID_KEY)
+        self.model: "dict[str, CellRecord]" = {}
+
+    def _reopen(self):
+        self.manifest.close()
+        self.manifest = GridManifest(self.path, GRID_KEY)
+
+    @rule(
+        key=st.sampled_from(KEYS),
+        status=st.sampled_from([DONE, FAILED]),
+        attempts=st.integers(min_value=1, max_value=4),
+    )
+    def record(self, key, status, attempts):
+        rec = _rec(key, status, attempts)
+        self.manifest.record(rec)
+        self.model[key] = rec
+
+    @rule()
+    def reload(self):
+        self._reopen()
+
+    @rule(garbage=st.binary(min_size=1, max_size=40))
+    def killed_mid_write(self, garbage):
+        """A kill tears the final line; the fragment must cost nothing."""
+        self.manifest.close()
+        fragment = garbage.replace(b"\n", b"")
+        with open(self.path, "ab") as f:
+            f.write(fragment)
+        self.manifest = GridManifest(self.path, GRID_KEY)
+
+    @rule()
+    def racing_writer_duplicate_header(self):
+        """A second writer's header line lands mid-file; records survive."""
+        self.manifest.close()
+        header = {"type": "manifest", "version": MANIFEST_VERSION, "grid_key": GRID_KEY}
+        with open(self.path, "a", encoding="utf-8") as f:
+            f.write(json.dumps(header, separators=(",", ":")) + "\n")
+        self.manifest = GridManifest(self.path, GRID_KEY)
+
+    @rule()
+    def stray_midfile_header(self):
+        """A stale header naming another grid mid-file is inert garbage."""
+        self.manifest.close()
+        header = {"type": "manifest", "version": MANIFEST_VERSION, "grid_key": "other"}
+        with open(self.path, "a", encoding="utf-8") as f:
+            f.write(json.dumps(header, separators=(",", ":")) + "\n")
+        self.manifest = GridManifest(self.path, GRID_KEY)
+
+    @invariant()
+    def records_match_model(self):
+        assert self.manifest.records == self.model
+
+    def teardown(self):
+        self.manifest.close()
+        import shutil
+
+        shutil.rmtree(self.dir, ignore_errors=True)
+
+
+TestManifestParity = ManifestParity.TestCase
+
+
+# ---------------------------------------------------------------------------
+# brute-force byte-truncation enumeration
+# ---------------------------------------------------------------------------
+def _build_manifest(path) -> bytes:
+    with GridManifest(path, GRID_KEY) as m:
+        for i, key in enumerate(KEYS):
+            m.record(_rec(key, DONE if i % 2 == 0 else FAILED, attempts=i + 1))
+        m.record(_rec(KEYS[1], DONE, attempts=3))  # newest-per-key must win
+    return path.read_bytes()
+
+
+def _assert_sweep_clean(path):
+    mismatches = [
+        (cut, actual, expected)
+        for cut, actual, expected in truncation_sweep(path, GRID_KEY)
+        if actual != expected
+    ]
+    assert mismatches == []
+
+
+def test_truncation_sweep_every_byte(tmp_path):
+    """Loading any byte-prefix recovers exactly the fully-written records."""
+    path = tmp_path / "manifest.jsonl"
+    _build_manifest(path)
+    _assert_sweep_clean(path)
+
+
+def test_truncation_sweep_with_duplicate_header(tmp_path):
+    path = tmp_path / "manifest.jsonl"
+    data = _build_manifest(path)
+    path.write_bytes(with_duplicate_header(data, GRID_KEY))
+    _assert_sweep_clean(path)
+
+
+def test_truncation_sweep_with_mismatched_midfile_header(tmp_path):
+    path = tmp_path / "manifest.jsonl"
+    data = _build_manifest(path)
+    path.write_bytes(with_midfile_header(data, GRID_KEY))
+    _assert_sweep_clean(path)
+
+
+def test_prefix_model_rejects_foreign_grid(tmp_path):
+    """The model and loader agree a stale header means a full reset."""
+    path = tmp_path / "manifest.jsonl"
+    data = _build_manifest(path)
+    header_ok, records = manifest_prefix_model(data, "some-other-grid")
+    assert not header_ok and records == {}
+    manifest = GridManifest(path, "some-other-grid")
+    manifest.close()
+    assert manifest.records == {}
+    assert not path.exists()  # stale manifests are reset
+
+
+# ---------------------------------------------------------------------------
+# pinned regressions for the bugs the harness found
+# ---------------------------------------------------------------------------
+def test_midfile_mismatched_header_does_not_drop_records(tmp_path):
+    """Counterexample: header + record + stale-header-line + record.
+
+    The loader used to re-evaluate ``header_ok`` on any mid-file
+    ``"type": "manifest"`` line, so the stale line made it drop every
+    following record *and* unlink the file.  Only line 0 is a header.
+    """
+    path = tmp_path / "manifest.jsonl"
+    with GridManifest(path, GRID_KEY) as m:
+        m.record(_rec("cell0", DONE, attempts=1))
+    stale = {"type": "manifest", "version": MANIFEST_VERSION, "grid_key": "stale"}
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(json.dumps(stale, separators=(",", ":")) + "\n")
+    with GridManifest(path, GRID_KEY) as m2:
+        m2.record(_rec("cell1", DONE, attempts=1))
+    reloaded = GridManifest(path, GRID_KEY)
+    reloaded.close()
+    assert set(reloaded.records) == {"cell0", "cell1"}
+    assert path.exists()
+
+
+def test_midfile_duplicate_matching_header_is_ignored(tmp_path):
+    """Two writers racing on an empty file both write the header; both
+    records around the duplicate must load."""
+    path = tmp_path / "manifest.jsonl"
+    with GridManifest(path, GRID_KEY) as m:
+        m.record(_rec("cell0", DONE, attempts=1))
+    header = {"type": "manifest", "version": MANIFEST_VERSION, "grid_key": GRID_KEY}
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(json.dumps(header, separators=(",", ":")) + "\n")
+    with GridManifest(path, GRID_KEY) as m2:
+        m2.record(_rec("cell1", FAILED, attempts=2))
+    reloaded = GridManifest(path, GRID_KEY)
+    reloaded.close()
+    assert set(reloaded.records) == {"cell0", "cell1"}
+
+
+def test_append_after_torn_tail_seals_the_fragment(tmp_path):
+    """Counterexample: record a, kill mid-write, record c, kill, resume.
+
+    Without sealing the torn line, record c glued onto the fragment and a
+    second resume lost it — despite c's write having been fsynced.
+    """
+    path = tmp_path / "manifest.jsonl"
+    with GridManifest(path, GRID_KEY) as m:
+        m.record(_rec("a", DONE, attempts=1))
+    with open(path, "ab") as f:
+        f.write(b'{"key":"b","workload":"w')  # torn: killed mid-write
+    m2 = GridManifest(path, GRID_KEY)
+    assert set(m2.records) == {"a"}
+    m2.record(_rec("c", DONE, attempts=1))
+    m2.close()
+    m3 = GridManifest(path, GRID_KEY)
+    m3.close()
+    assert set(m3.records) == {"a", "c"}

@@ -1,0 +1,218 @@
+"""MappingServer admission/credit-window/drain vs the explicit table.
+
+The stateful machine runs a *real* :class:`MappingServer` on a loopback
+socket and drives raw protocol frames against it, mirroring every step
+in :class:`repro.check.ServeModel` — admission verdict by verdict,
+credit by credit, summary by summary.  Detection content (digests,
+mappings) is pinned elsewhere; this machine checks the protocol state
+machine around it: refusal codes and their precedence, the enforced
+``2 × credit_window`` ceiling, exact per-batch crediting, SUMMARY event
+counts, and the no-admission-after-drain rule.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.check import ServeModel
+from repro.errors import AdmissionError
+from repro.serve import MappingServer, ServeConfig, protocol
+from repro.serve.protocol import MsgType
+
+MAX_SESSIONS = 2
+CREDIT_WINDOW = 256
+TIMEOUT = 5.0
+
+HELLO_KINDS = {
+    "ok": {},
+    "bad-version": {"version": 999},
+    "no-tenant": {"tenant": None},
+    "bad-threads": {"n_threads": 1},
+    "unknown-key": {"config": {"nope": 1}},
+    "too-large": {"config": {"table_size": 100_000_000}},
+}
+
+
+def _hello(cid: int, kind: str) -> dict:
+    payload = {
+        "tenant": f"tenant-{cid}",
+        "n_threads": 2,
+        "version": protocol.PROTOCOL_VERSION,
+        "config": {"table_size": 512},
+    }
+    payload.update(HELLO_KINDS[kind])
+    if payload.get("tenant") is None:
+        del payload["tenant"]
+    return payload
+
+
+class ServeParity(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.loop = asyncio.new_event_loop()
+        self.server = MappingServer(
+            ServeConfig(
+                port=0,
+                metrics_port=None,
+                max_sessions=MAX_SESSIONS,
+                credit_window=CREDIT_WINDOW,
+                eval_every_events=1 << 30,  # no cadence MAPPINGs mid-stream
+                drain_grace_s=0.2,
+            )
+        )
+        self.loop.run_until_complete(self.server.start())
+        self.port = self.server.port
+        self.model = ServeModel(MAX_SESSIONS, CREDIT_WINDOW)
+        self.streams: "dict[int, tuple]" = {}  # cid -> (reader, writer)
+        self.next_cid = 0
+        self.drained = False
+
+    # -- plumbing -----------------------------------------------------------
+    def _run(self, coro):
+        return self.loop.run_until_complete(asyncio.wait_for(coro, TIMEOUT))
+
+    def _send(self, cid, data):
+        _, writer = self.streams[cid]
+        self._run(protocol.write_frame(writer, data))
+
+    def _read(self, cid, *, skip=(MsgType.MAPPING,)):
+        reader, _ = self.streams[cid]
+        while True:
+            frame = self._run(protocol.read_frame(reader))
+            if frame is not None and frame.type in skip:
+                continue
+            return frame
+
+    def _close(self, cid):
+        _, writer = self.streams.pop(cid)
+        writer.close()
+
+    # -- rules --------------------------------------------------------------
+    @precondition(lambda self: not self.drained)
+    @rule(kind=st.sampled_from(sorted(HELLO_KINDS)))
+    def connect(self, kind):
+        cid = self.next_cid
+        self.next_cid += 1
+        reader, writer = self._run(
+            asyncio.open_connection("127.0.0.1", self.port)
+        )
+        self.streams[cid] = (reader, writer)
+        self._run(
+            protocol.write_frame(
+                writer, protocol.encode(MsgType.HELLO, _hello(cid, kind))
+            )
+        )
+        expected = self.model.admit(cid, kind)
+        frame = self._read(cid)
+        if expected is None:
+            assert frame.type is MsgType.WELCOME
+            assert frame.payload["credits"] == CREDIT_WINDOW
+        else:
+            assert frame.type is MsgType.ERROR
+            assert frame.payload["code"] == expected
+            self._close(cid)
+
+    def _open_cids(self):
+        return sorted(cid for cid, s in self.model.conns.items()
+                      if s == "open" and cid in self.streams)
+
+    @precondition(lambda self: not self.drained and self._open_cids())
+    @rule(data=st.data(), n=st.integers(min_value=0, max_value=2 * CREDIT_WINDOW))
+    def send_events_and_await_credit(self, data, n):
+        """A well-behaved client: every batch is credited back exactly."""
+        cid = data.draw(st.sampled_from(self._open_cids()), label="cid")
+        tid = data.draw(st.integers(min_value=0, max_value=1), label="tid")
+        assert self.model.events(cid, n) is None  # within the window by design
+        self._send(cid, protocol.encode_events(tid, 0, np.zeros(n, dtype=np.int64)))
+        frame = self._read(cid)
+        assert frame.type is MsgType.CREDIT
+        assert frame.payload["events"] == n
+        self.model.credited(cid, n)
+
+    @precondition(lambda self: not self.drained and self._open_cids())
+    @rule(data=st.data())
+    def overrun_window(self, data):
+        """One frame past the enforced ceiling draws the protocol error.
+
+        A *single* oversized batch makes the overrun deterministic: the
+        reader trips the ceiling before the inline processor can drain
+        anything.  (Spread over several frames the enforcement is
+        intentionally racy — a fast processor may absorb them, which is
+        backpressure working, not a bug.)
+        """
+        cid = data.draw(st.sampled_from(self._open_cids()), label="cid")
+        batch = np.zeros(2 * CREDIT_WINDOW + 1, dtype=np.int64)
+        assert self.model.events(cid, batch.size) == "overrun"
+        self._send(cid, protocol.encode_events(0, 0, batch))
+        frame = self._read(cid, skip=(MsgType.MAPPING, MsgType.CREDIT))
+        assert frame.type is MsgType.ERROR
+        assert frame.payload["code"] == "protocol"
+        assert "credit window" in frame.payload["message"]
+        self._close(cid)
+
+    @precondition(lambda self: not self.drained and self._open_cids())
+    @rule(data=st.data())
+    def bye(self, data):
+        cid = data.draw(st.sampled_from(self._open_cids()), label="cid")
+        expected_events = self.model.bye(cid)
+        self._send(cid, protocol.encode(MsgType.BYE, {}))
+        frame = self._read(cid, skip=(MsgType.MAPPING, MsgType.CREDIT))
+        assert frame.type is MsgType.SUMMARY
+        assert frame.payload["events"] == expected_events
+        assert frame.payload["reason"] == "bye"
+        self._close(cid)
+
+    @precondition(lambda self: not self.drained)
+    @rule()
+    def drain(self):
+        expected = self.model.drain()
+        self.drained = True
+        drain_task = self.loop.create_task(self.server.drain("modelcheck"))
+        for cid, events in sorted(expected.items()):
+            frame = self._read(cid, skip=(MsgType.MAPPING, MsgType.CREDIT))
+            assert frame.type is MsgType.DRAINING
+            frame = self._read(cid, skip=(MsgType.MAPPING, MsgType.CREDIT))
+            assert frame.type is MsgType.SUMMARY
+            assert frame.payload["events"] == events
+            assert frame.payload["reason"] == "drain"
+            self._close(cid)
+        self._run(drain_task)
+        # admission while draining refuses with the dedicated code
+        with pytest.raises(AdmissionError) as exc:
+            self.server._admit(_hello(self.next_cid, "ok"))
+        assert exc.value.code == "draining"
+        assert self.model.admit(self.next_cid, "ok") == "draining"
+
+    @precondition(lambda self: self.drained)
+    @rule()
+    def connect_after_drain_is_refused(self):
+        """The listener is closed once the drain begins."""
+        with pytest.raises((ConnectionError, OSError, asyncio.TimeoutError)):
+            self._run(asyncio.open_connection("127.0.0.1", self.port))
+
+    # -- invariants ---------------------------------------------------------
+    @invariant()
+    def totals_match(self):
+        # a session's finally-block cleanup runs a loop tick after its last
+        # frame reaches us; pump the loop until the server settles
+        live = sum(1 for s in self.model.conns.values() if s == "open")
+        deadline = self.loop.time() + TIMEOUT
+        while len(self.server._connections) != live and self.loop.time() < deadline:
+            self.loop.run_until_complete(asyncio.sleep(0.005))
+        assert len(self.server._connections) == live
+        assert self.server.events_total == sum(self.model.total_events.values())
+
+    def teardown(self):
+        for cid in list(self.streams):
+            self._close(cid)
+        if not self.drained:
+            self.loop.run_until_complete(self.server.drain("teardown"))
+        self.loop.close()
+
+
+TestServeParity = ServeParity.TestCase

@@ -179,6 +179,58 @@ def test_manifest_roundtrip_and_torn_tail(tmp_path):
     assert reloaded.done_keys() == {"aa"}  # torn tail skipped, record kept
 
 
+def test_manifest_survives_truncation_at_every_byte(tmp_path):
+    """Byte-granular kill sweep: cut the file after every byte 0..size.
+
+    A writer can be SIGKILLed at any instant, so every possible on-disk
+    prefix must load without crashing and recover exactly the records
+    whose trailing newline made it to disk (``manifest_prefix_model`` is
+    the trivially-correct oracle).  This is the exhaustive version of
+    ``test_manifest_roundtrip_and_torn_tail``'s single sampled cut.
+    """
+    from repro.check import manifest_prefix_model, truncation_sweep
+
+    path = tmp_path / "grid.manifest.jsonl"
+    gkey = grid_key(["aa", "bb", "cc"])
+    with GridManifest(path, gkey) as m:
+        m.record(CellRecord(key="aa", workload="CG", policy="os", rep=0, status=DONE))
+        m.record(CellRecord(key="bb", workload="CG", policy="spcd", rep=1,
+                            status="failed", error="timeout"))
+        m.record(CellRecord(key="aa", workload="CG", policy="os", rep=0,
+                            status=DONE, attempts=2))  # newest-per-key wins
+    data = path.read_bytes()
+    assert manifest_prefix_model(data, gkey)[1].keys() == {"aa", "bb"}
+    mismatches = [
+        cut for cut, actual, expected in truncation_sweep(path, gkey)
+        if actual != expected
+    ]
+    assert mismatches == [], f"divergent truncation points: {mismatches}"
+
+
+def test_truncated_manifest_never_loses_results(tmp_path):
+    """Losing manifest bytes costs bookkeeping only, never results.
+
+    Cell results live in content-addressed pickles; the manifest merely
+    records which cells a resumed sweep may count as checkpointed.  Cut
+    mid-way through the final manifest record and resume: the torn record
+    drops out of ``resumed_cells``, but every result is still served from
+    the cache and the aggregate stays byte-identical.
+    """
+    cache = tmp_path / "cache"
+    first = run_grid(["CG"], ["os", "spcd"], 1, base_seed=7, config=CFG, cache=cache)
+    assert first.ok and len(first.cells) == 2
+    (manifest_path,) = cache.glob("grid-*.manifest.jsonl")
+    lines = manifest_path.read_bytes().splitlines(keepends=True)
+    manifest_path.write_bytes(b"".join(lines[:-1]) + lines[-1][:10])
+    resumed = run_grid(["CG"], ["os", "spcd"], 1, base_seed=7, config=CFG, cache=cache)
+    assert resumed.ok
+    assert resumed.cache_hits == 2 and resumed.cache_misses == 0
+    assert resumed.resumed_cells == 1  # the torn record no longer counts
+    assert pickle.dumps(
+        {k: v.metrics for k, v in sorted(resumed.cells.items())}
+    ) == pickle.dumps({k: v.metrics for k, v in sorted(first.cells.items())})
+
+
 def test_manifest_for_a_different_grid_is_reset(tmp_path):
     path = tmp_path / "grid.manifest.jsonl"
     with GridManifest(path, grid_key(["aa"])) as m:
