@@ -20,6 +20,12 @@ Quick start::
     result = Simulator(make_npb("SP"), "spcd", seed=1).run()
     print(result.exec_time_s, result.l3_mpki)
 
+Placement policies (:mod:`repro.placement`) extend the paper's thread
+mapping with co-decided NUMA data mapping and Mitosis-style page-table
+replication — pass ``"spcd-data"``, ``"spcd-combined"`` or
+``"spcd-replicated"`` (or a typed :class:`PlacementPolicy` instance)
+wherever a policy name is accepted.
+
 Experiment grids (cached, parallel, fault-tolerant, resumable)::
 
     from repro import RunSettings, run_grid
@@ -53,9 +59,15 @@ from repro.engine import (
 )
 from repro.machine import Machine, build_machine, dual_xeon_e5_2650
 from repro.obs import JsonlRecorder, TraceRecorder
+from repro.placement import (
+    PlacementDecision,
+    PlacementPolicy,
+    canonical_policies,
+    resolve_policy,
+)
 from repro.workloads import ProducerConsumerWorkload, SyntheticNpbWorkload, make_npb
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CellFailure",
@@ -66,6 +78,8 @@ __all__ = [
     "HierarchicalMapper",
     "JsonlRecorder",
     "Machine",
+    "PlacementDecision",
+    "PlacementPolicy",
     "Policy",
     "ProducerConsumerWorkload",
     "ResultCache",
@@ -78,9 +92,11 @@ __all__ = [
     "SyntheticNpbWorkload",
     "TraceRecorder",
     "build_machine",
+    "canonical_policies",
     "dual_xeon_e5_2650",
     "make_npb",
     "max_weight_perfect_matching",
+    "resolve_policy",
     "run_cell",
     "run_grid",
     "run_replicated",

@@ -18,7 +18,13 @@ check, and their models:
 * shard-count invariance (:class:`~repro.serve.session.ShardedShareTable`,
   ``REPRO_SIM_SHARDS``) via :func:`session_shard_trace` /
   :func:`parsim_result_digest` digest sweeps, and TLB-shootdown ×
-  fault-injection interleavings via :func:`check_tlb_fault_interleavings`.
+  fault-injection interleavings via :func:`check_tlb_fault_interleavings`;
+* page-table replica coherence
+  (:class:`~repro.mem.ptreplica.ReplicatedPageTable`) under interleaved
+  fault / migration / injection streams via
+  :func:`check_replica_interleavings` — same enumerate-the-real-stack
+  pattern, with ``broadcast_present=False`` and ``migrate_noshoot`` as
+  the seeded-bug negative controls.
 
 The drivers live in ``tests/model/``; this package holds only the models
 and enumerators so regression tests (and future subsystems) can import
@@ -32,6 +38,11 @@ from repro.check.interleave import (
     op_sequences,
 )
 from repro.check.models import RingModel, ServeModel
+from repro.check.replica import (
+    ReplicaModel,
+    check_replica_interleavings,
+    replica_alphabet,
+)
 from repro.check.sweeps import parsim_result_digest, session_shard_trace
 from repro.check.truncate import (
     manifest_prefix_model,
@@ -42,12 +53,15 @@ from repro.check.truncate import (
 
 __all__ = [
     "Counterexample",
+    "ReplicaModel",
     "RingModel",
     "ServeModel",
+    "check_replica_interleavings",
     "check_tlb_fault_interleavings",
     "interleavings",
     "manifest_prefix_model",
     "op_sequences",
+    "replica_alphabet",
     "parsim_result_digest",
     "session_shard_trace",
     "truncation_sweep",

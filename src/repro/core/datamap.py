@@ -99,11 +99,33 @@ class SpcdDataMapper:
 
     # -- periodic scan ---------------------------------------------------------
     def scan(self, now_ns: int) -> int:
-        """Migrate pages dominated by a remote node; returns pages moved."""
+        """Migrate pages dominated by a remote node; returns pages moved.
+
+        The legacy timer-driven entry point: decide, apply, then age the
+        counters — kept as the composition of the three phases so the
+        placement engine can drive them separately (decide inside a
+        :class:`~repro.placement.decision.PlacementDecision`, apply in
+        ``SpcdManager.apply_decision``).
+        """
         self.stats.scans += 1
+        moves, _ = self.decide()
+        moved = self.apply_moves(moves)
+        self.finish_scan()
+        return moved
+
+    def decide(self, *, defer_shared: bool = False) -> "tuple[list[tuple[int, int]], int]":
+        """Pick pages to migrate; returns ``(moves, shared_deferred)``.
+
+        Pure decision — no page-table mutation.  Each move is
+        ``(vpn, target_node)``.  Pages whose fault mass no node dominates
+        are *communication* pages: with ``defer_shared`` (combined
+        placement policies) they are counted as deferred to the thread
+        mapper; otherwise they are recorded as vetoed, the data-only
+        semantics.
+        """
         table = self.pipeline.address_space.page_table
-        frames = self.pipeline.frames
-        moved = 0
+        moves: "list[tuple[int, int]]" = []
+        deferred = 0
         for vpn in list(self._touched):
             counts = self._node_faults[vpn]
             total = counts.sum()
@@ -115,9 +137,27 @@ class SpcdDataMapper:
             if best == home:
                 continue
             if share < self.dominance:
-                self.stats.migrations_vetoed_shared += 1
+                if defer_shared:
+                    deferred += 1
+                else:
+                    self.stats.migrations_vetoed_shared += 1
                 continue
-            # Migrate: allocate on the dominant node, free the old frame.
+            moves.append((vpn, best))
+        return moves, deferred
+
+    def apply_moves(self, moves: "list[tuple[int, int]]") -> int:
+        """Migrate the decided pages; returns pages actually moved.
+
+        A move migrates the frame (allocate on the dominant node, remap,
+        free the old frame), preserves a cleared present bit, charges the
+        copy cost, and — crucially — shoots the migrated VPNs out of every
+        TLB: stale cached translations would otherwise keep resolving to
+        the freed frame.
+        """
+        table = self.pipeline.address_space.page_table
+        frames = self.pipeline.frames
+        moved_vpns: "list[int]" = []
+        for vpn, best in moves:
             old_frame = table.frame_of(vpn)
             new_frame = frames.allocate(best)
             if frames.node_of_frame(new_frame) != best:
@@ -131,13 +171,17 @@ class SpcdDataMapper:
             frames.free(old_frame)
             self.stats.pages_migrated += 1
             self.stats.copy_time_ns += self.copy_cost_ns
-            moved += 1
-        # Age the counters and reset the touched set.
+            moved_vpns.append(vpn)
+        if moved_vpns and self.pipeline.tlbs is not None:
+            self.pipeline.tlbs.shootdown(np.asarray(moved_vpns, dtype=np.int64))
+        return len(moved_vpns)
+
+    def finish_scan(self) -> None:
+        """Age the per-node counters and reset the touched set."""
         if self.decay < 1.0:
             for counts in self._node_faults.values():
                 counts *= self.decay
         self._touched.clear()
-        return moved
 
     def node_affinity(self, vpn: int) -> np.ndarray | None:
         """The recent per-node fault mass of a page (None if never seen)."""

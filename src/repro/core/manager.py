@@ -31,8 +31,11 @@ from repro.kernelsim.scheduler import PinnedScheduler
 from repro.machine.topology import Machine
 from repro.mem.fault import FaultPipeline
 from repro.mem.tlb import TlbArray
-from repro.obs.events import MappingDecision, SpcdEvaluation
+from repro.mem.ptreplica import ReplicatedPageTable
+from repro.obs.events import MappingDecision, PlacementApplied, SpcdEvaluation
 from repro.obs.recorder import TraceRecorder
+from repro.placement.decision import PageMigration, PlacementDecision, PlacementView
+from repro.placement.policy import PlacementPolicy, ThreadPlacementPolicy
 from repro.units import MSEC, PAGE_SIZE
 
 
@@ -147,11 +150,18 @@ class SpcdManager:
         config: SpcdConfig | None = None,
         recorder: TraceRecorder | None = None,
         scalar_touch_max: "int | None" = None,
+        placement: PlacementPolicy | None = None,
     ) -> None:
         self.machine = machine
         self.n_threads = n_threads
         self.config = config or SpcdConfig()
         cfg = self.config
+        #: the policy whose ``evaluate`` turns each periodic evaluation's
+        #: evidence into one :class:`PlacementDecision`; the default
+        #: reproduces the paper's thread-only mechanism bit for bit
+        self.placement: PlacementPolicy = (
+            ThreadPlacementPolicy() if placement is None else placement
+        )
         self.pipeline = pipeline
         self.recorder = recorder
         self.detector = SpcdDetector(
@@ -189,7 +199,7 @@ class SpcdManager:
         )
         self.migrator = MigrationEngine(scheduler, tlbs, recorder=recorder)
         self.data_mapper = None
-        if cfg.data_mapping:
+        if cfg.data_mapping or self.placement.maps_data:
             from repro.core.datamap import SpcdDataMapper
 
             self.data_mapper = SpcdDataMapper(
@@ -208,16 +218,28 @@ class SpcdManager:
         if timer_wheel is not None:
             timer_wheel.register("spcd-injector", cfg.injector_period_ns, self.injector.wake)
             timer_wheel.register("spcd-evaluate", cfg.eval_period_ns, self.evaluate)
-            if self.data_mapper is not None:
+            # The legacy standalone data-mapping timer: only when the config
+            # asks for it AND the placement policy does not already fold
+            # page migrations into its co-decided evaluations.
+            if self.data_mapper is not None and not self.placement.maps_data:
                 timer_wheel.register(
                     "spcd-datamap", cfg.data_scan_period_ns, self.data_mapper.scan
                 )
 
     # -- periodic evaluation ---------------------------------------------------
     def evaluate(self, now_ns: int) -> bool:
-        """Analyse the matrix; remap if the filter says the pattern changed.
+        """One placement evaluation: policy decides, manager applies.
 
-        Returns True if a migration was performed.
+        The placement policy sees the communication matrix and (when data
+        mapping is on) the per-page node-fault counters through one
+        :class:`~repro.placement.decision.PlacementView` and returns one
+        :class:`~repro.placement.decision.PlacementDecision`; the manager
+        applies its thread remap, page migrations and replication
+        directive atomically.  With the default thread-only policy this
+        reproduces the pre-placement evaluation bit for bit (gates,
+        overhead accounting, trace events, matrix aging).
+
+        Returns True if a thread migration was performed.
         """
         self.overheads.filter_evaluations += 1
         matrix = self.detector.matrix
@@ -228,54 +250,13 @@ class SpcdManager:
         # at most once, as in the paper's Table II.
         fresh = self.detector.stats.comm_events - self._events_at_last_trigger
         try:
-            if fresh < self.config.filter_min_events:
-                return False
-            if now_ns - self._last_migration_ns < self.config.remap_cooldown_ns:
-                verdict = "cooldown"
-                return False
-            if self.config.filter_enabled and not self.filter.should_remap(matrix):
-                verdict = "pattern-unchanged"
-                return False
-            if not self.config.filter_enabled and matrix.total() == 0:
-                verdict = "no-communication"
-                return False
-            self._events_at_last_trigger = self.detector.stats.comm_events
-            current = self.migrator.scheduler.placement()
-            t_map = perf_counter()
-            mapping = self.mapper.map(matrix, current=current)
-            self.map_wall_s += perf_counter() - t_map
-            self.overheads.mapper_calls += 1
-            self.overheads.mapping_ns += (
-                self.config.mapping_cost_ns_per_n3 * self.n_threads**3
-            )
-            cost_now = mapping_comm_cost(matrix.matrix, current, self.machine)
-            cost_new = mapping_comm_cost(matrix.matrix, mapping, self.machine)
-            vetoed = cost_now > 0 and cost_new > self.config.min_improvement * cost_now
-            if self.recorder is not None:
-                self.recorder.emit(
-                    MappingDecision(
-                        now_ns=int(now_ns),
-                        current=[int(p) for p in current],
-                        proposed=[int(p) for p in mapping],
-                        cost_now=float(cost_now),
-                        cost_new=float(cost_new),
-                        accepted=not vetoed,
-                    )
-                )
-            if vetoed:
-                # Vetoed: the filter's snapshot stays updated — the change
-                # was considered and judged not worth a migration.  If the
-                # pattern keeps evolving, partners will drift against the
-                # new snapshot and re-trigger naturally.
-                verdict = "vetoed"
-                return False
-            moved = self.migrator.apply_mapping(mapping, now_ns)
-            if moved:
-                self._last_migration_ns = now_ns
-                self._mapping_history.append((now_ns, mapping.copy()))
-                verdict = "migrated"
-            else:
-                verdict = "no-move"
+            decision = self.placement.evaluate(self._view(now_ns, matrix, fresh))
+            verdict = decision.verdict
+            moved, pages_moved, replicated = self.apply_decision(decision, now_ns)
+            if decision.thread_mapping is not None:
+                verdict = "migrated" if moved else "no-move"
+            elif pages_moved and verdict == "data-idle":
+                verdict = "data-migrated"
             return moved > 0
         finally:
             if self.recorder is not None:
@@ -293,6 +274,144 @@ class SpcdManager:
             if self.config.matrix_decay < 1.0:
                 matrix.decay(self.config.matrix_decay)
 
+    def _view(self, now_ns: int, matrix, fresh: float) -> PlacementView:
+        """Assemble the evidence one policy evaluation may observe."""
+        table = self.pipeline.address_space.page_table
+        return PlacementView(
+            now_ns=int(now_ns),
+            machine=self.machine,
+            matrix=matrix,
+            fresh_events=float(fresh),
+            table=table,
+            node_faults=self.data_mapper,
+            pt_replicated=bool(getattr(table, "active", False)),
+            _thread_proposal=lambda: self._propose_thread_mapping(now_ns, matrix, fresh),
+            _page_proposal=self._propose_page_migrations,
+            current_placement=tuple(
+                int(p) for p in self.migrator.scheduler.placement()
+            ),
+        )
+
+    def _propose_thread_mapping(
+        self, now_ns: int, matrix, fresh: float
+    ) -> "tuple[np.ndarray | None, str, float, float]":
+        """Evidence gates + mapper; ``(mapping|None, verdict, cost_now, cost_new)``.
+
+        This is the pre-placement evaluation body verbatim: the fresh-
+        evidence quota, the migration cooldown, the communication filter,
+        the mapper call with its virtual cost, the improvement veto and
+        the :class:`MappingDecision` trace event all behave identically
+        regardless of which placement policy asks for the proposal.
+        """
+        if fresh < self.config.filter_min_events:
+            return None, "insufficient-evidence", 0.0, 0.0
+        if now_ns - self._last_migration_ns < self.config.remap_cooldown_ns:
+            return None, "cooldown", 0.0, 0.0
+        if self.config.filter_enabled and not self.filter.should_remap(matrix):
+            return None, "pattern-unchanged", 0.0, 0.0
+        if not self.config.filter_enabled and matrix.total() == 0:
+            return None, "no-communication", 0.0, 0.0
+        self._events_at_last_trigger = self.detector.stats.comm_events
+        current = self.migrator.scheduler.placement()
+        t_map = perf_counter()
+        mapping = self.mapper.map(matrix, current=current)
+        self.map_wall_s += perf_counter() - t_map
+        self.overheads.mapper_calls += 1
+        self.overheads.mapping_ns += (
+            self.config.mapping_cost_ns_per_n3 * self.n_threads**3
+        )
+        cost_now = mapping_comm_cost(matrix.matrix, current, self.machine)
+        cost_new = mapping_comm_cost(matrix.matrix, mapping, self.machine)
+        vetoed = cost_now > 0 and cost_new > self.config.min_improvement * cost_now
+        if self.recorder is not None:
+            self.recorder.emit(
+                MappingDecision(
+                    now_ns=int(now_ns),
+                    current=[int(p) for p in current],
+                    proposed=[int(p) for p in mapping],
+                    cost_now=float(cost_now),
+                    cost_new=float(cost_new),
+                    accepted=not vetoed,
+                )
+            )
+        if vetoed:
+            # Vetoed: the filter's snapshot stays updated — the change
+            # was considered and judged not worth a migration.  If the
+            # pattern keeps evolving, partners will drift against the
+            # new snapshot and re-trigger naturally.
+            return None, "vetoed", float(cost_now), float(cost_new)
+        return mapping, "proposed", float(cost_now), float(cost_new)
+
+    def _propose_page_migrations(self) -> "tuple[tuple[PageMigration, ...], int]":
+        """Scan the node-fault counters; ``(migrations, shared_deferred)``.
+
+        One call is one data-mapping scan: the counters are decided over,
+        then aged — exactly the legacy timer-driven cadence, but on the
+        evaluation clock and without mutating the page table (that waits
+        for :meth:`apply_decision`).
+        """
+        if self.data_mapper is None:
+            return (), 0
+        self.data_mapper.stats.scans += 1
+        moves, deferred = self.data_mapper.decide(
+            defer_shared=self.placement.maps_threads
+        )
+        self.data_mapper.finish_scan()
+        return (
+            tuple(PageMigration(vpn=vpn, target_node=node) for vpn, node in moves),
+            deferred,
+        )
+
+    def apply_decision(
+        self, decision: PlacementDecision, now_ns: int
+    ) -> "tuple[int, int, bool]":
+        """Apply one decision atomically; ``(threads_moved, pages_moved, replicated)``.
+
+        Order matters and is fixed: replication first (so the migrations'
+        page-table updates are already broadcast to fresh replicas), then
+        page migrations, then the thread remap — the NUMA-placement
+        analogue of establishing the memory layout before moving the
+        compute to it.
+        """
+        replicated = False
+        replication_cost = 0.0
+        table = self.pipeline.address_space.page_table
+        if decision.replicate_pt and isinstance(table, ReplicatedPageTable):
+            if not table.active:
+                replication_cost = table.activate()
+                replicated = True
+        pages_moved = 0
+        if decision.page_migrations and self.data_mapper is not None:
+            pages_moved = self.data_mapper.apply_moves(
+                [(m.vpn, m.target_node) for m in decision.page_migrations]
+            )
+        moved = 0
+        if decision.thread_mapping is not None:
+            mapping = np.asarray(decision.thread_mapping, dtype=np.int64)
+            moved = self.migrator.apply_mapping(mapping, now_ns)
+            if moved:
+                self._last_migration_ns = now_ns
+                self._mapping_history.append((now_ns, mapping.copy()))
+        if self.recorder is not None and (
+            pages_moved or decision.page_migrations or replicated or decision.shared_deferred
+        ):
+            self.recorder.emit(
+                PlacementApplied(
+                    now_ns=int(now_ns),
+                    policy=self.placement.name,
+                    verdict=decision.verdict,
+                    thread_moves=int(moved),
+                    page_migrations=int(pages_moved),
+                    shared_deferred=int(decision.shared_deferred),
+                    replicated=bool(replicated),
+                    replication_cost_ns=float(replication_cost),
+                    copy_time_ns=float(
+                        self.data_mapper.stats.copy_time_ns if self.data_mapper else 0.0
+                    ),
+                )
+            )
+        return moved, pages_moved, replicated
+
     @staticmethod
     def _matrix_digest(matrix) -> str:
         """Short content digest of the matrix snapshot (trace audit anchor)."""
@@ -309,8 +428,22 @@ class SpcdManager:
         return self.pipeline.hook_time_ns + self.injector.inject_time_ns
 
     def mapping_time_ns(self) -> float:
-        """Virtual time spent mapping and migrating."""
-        return self.overheads.mapping_ns + self.migrator.cost_ns
+        """Virtual time spent mapping, migrating and replicating.
+
+        Includes the page-table replication bill (activation copies +
+        coherence broadcasts) when a :class:`ReplicatedPageTable` is in
+        play — zero otherwise, so thread-only totals are unchanged.
+        """
+        return (
+            self.overheads.mapping_ns
+            + self.migrator.cost_ns
+            + self.replication_time_ns()
+        )
+
+    def replication_time_ns(self) -> float:
+        """Virtual time spent on page-table replication (0.0 when off)."""
+        table = self.pipeline.address_space.page_table
+        return float(getattr(table, "replication_cost_ns", 0.0))
 
     def overhead_summary(self, total_ns: float) -> dict[str, float]:
         """Percentages for the Fig. 16 reproduction."""

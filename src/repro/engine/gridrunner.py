@@ -67,6 +67,7 @@ from repro.obs.events import (
     GridStart,
 )
 from repro.obs.recorder import JsonlRecorder, cell_trace_path, grid_trace_path
+from repro.placement import PlacementPolicy, resolve_policy
 from repro.rng import derive_seed
 from repro.workloads.npb import make_npb
 
@@ -276,7 +277,7 @@ def _resolve_cache(cache, eff: RunSettings) -> "_cache_mod.ResultCache | None":
 
 def run_cell(
     workload: "WorkloadSpec",
-    policy: "Policy | str",
+    policy: "PlacementPolicy | str | Policy",
     rep: int = 0,
     *,
     base_seed: int = 42,
@@ -309,12 +310,12 @@ def run_cell(
         else str(cache),
         trace=str(trace) if trace is not None else None,
     )
-    policy = Policy.parse(policy)
+    policy = resolve_policy(policy)
     name, factory = _resolve_spec(workload)
     machine = machine or dual_xeon_e5_2650()
     config = config or EngineConfig()
     spcd_config = spcd_config or SpcdConfig()
-    seed = derive_seed(base_seed, "rep", rep, policy.value)
+    seed = derive_seed(base_seed, "rep", rep, policy.name)
     live_cache = _resolve_cache(cache, eff)
     key = ""
     if live_cache is not None:
@@ -322,13 +323,13 @@ def run_cell(
         if token is None:
             live_cache = None  # no stable identity: bypass, never collide
         else:
-            key = _cell_key(token, policy.value, seed, machine, config, spcd_config)
+            key = _cell_key(token, policy.name, seed, machine, config, spcd_config)
             hit = live_cache.load(key)
             if hit is not None:
                 return hit, True
     trace_root = Path(eff.trace) if eff.trace else None
     trace_path = (
-        str(cell_trace_path(trace_root, name, policy.value, rep))
+        str(cell_trace_path(trace_root, name, policy.name, rep))
         if trace_root is not None
         else None
     )
@@ -370,7 +371,7 @@ class GridResult:
 
     def cell(self, workload: str, policy: str) -> ReplicatedResult:
         """The replicated summary of one ``(workload, policy)`` cell."""
-        return self.cells[(workload, str(Policy.parse(policy).value))]
+        return self.cells[(workload, resolve_policy(policy).name)]
 
     def by_workload(self, workload: str) -> dict[str, ReplicatedResult]:
         """``{policy: ReplicatedResult}`` for one workload (for
@@ -418,7 +419,12 @@ def _resolve_manifest(
 
 def run_grid(
     workloads: Sequence["WorkloadSpec"],
-    policies: Sequence["Policy | str"] = ("os", "random", "oracle", "spcd"),
+    policies: Sequence["PlacementPolicy | str | Policy"] = (
+        "os",
+        "random",
+        "oracle",
+        "spcd",
+    ),
     reps: int = 3,
     *,
     base_seed: int = 42,
@@ -495,7 +501,8 @@ def run_grid(
     live_cache = _resolve_cache(cache, eff)
 
     specs = [_resolve_spec(w) for w in workloads]
-    pols = [Policy.parse(p) for p in policies]
+    pols = [resolve_policy(p) for p in policies]
+    pol_by_name = {p.name: p for p in pols}
 
     cells: list[_Cell] = []
     factories: dict[str, WorkloadFactory] = {}
@@ -504,13 +511,13 @@ def run_grid(
         token = _cache_token(factory) if live_cache is not None else None
         for pol in pols:
             for rep in range(reps):
-                seed = derive_seed(base_seed, "rep", rep, pol.value)
+                seed = derive_seed(base_seed, "rep", rep, pol.name)
                 key = (
-                    _cell_key(token, pol.value, seed, machine, config, spcd_config)
+                    _cell_key(token, pol.name, seed, machine, config, spcd_config)
                     if token is not None
                     else ""
                 )
-                cells.append(_Cell(name, pol.value, rep, seed, key))
+                cells.append(_Cell(name, pol.name, rep, seed, key))
 
     gkey = _checkpoint.grid_key([c.key for c in cells if c.key])
     manifest = _resolve_manifest(checkpoint, live_cache, gkey)
@@ -545,7 +552,7 @@ def run_grid(
             GridStart(
                 grid_key=gkey,
                 workloads=[name for name, _ in specs],
-                policies=[p.value for p in pols],
+                policies=[p.name for p in pols],
                 reps=reps,
                 cells=len(cells),
                 cached=hits,
@@ -578,7 +585,7 @@ def run_grid(
         )
         return (
             factories[c.workload],
-            Policy.parse(c.policy),
+            pol_by_name[c.policy],
             c.seed,
             machine,
             config,
@@ -792,18 +799,18 @@ def run_grid(
     for name, _ in specs:
         for pol in pols:
             runs = [
-                results[(name, pol.value, rep)]
+                results[(name, pol.name, rep)]
                 for rep in range(reps)
-                if (name, pol.value, rep) in results
+                if (name, pol.name, rep) in results
             ]
             if not runs:
                 continue  # every repetition failed: see grid.failures
             metrics = {
                 m: summarize([r.metric(m) for r in runs]) for m in REPORT_METRICS
             }
-            grid.cells[(name, pol.value)] = ReplicatedResult(
+            grid.cells[(name, pol.name)] = ReplicatedResult(
                 workload=runs[0].workload,
-                policy=pol.value,
+                policy=pol.name,
                 metrics=metrics,
                 runs=runs if keep_runs else [],
             )

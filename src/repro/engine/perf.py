@@ -42,6 +42,12 @@ class PerfCounters:
     accesses: int = 0
     #: page faults handled (first-touch + injected)
     faults: int = 0
+    #: page-table-walk radix levels resolved on the walking PU's node
+    #: (populated only under ``REPRO_PLACEMENT_WALK``; see
+    #: ``PageTable.charge_walk``)
+    pt_walk_levels_local: int = 0
+    #: page-table-walk radix levels that crossed the socket interconnect
+    pt_walk_levels_remote: int = 0
 
     @property
     def tracked_s(self) -> float:

@@ -1,10 +1,20 @@
-"""Mapping policies of the paper's evaluation (Sec. V-D).
+"""Legacy policy enum — superseded by :mod:`repro.placement`.
 
-* ``OS`` — the original Linux scheduler (our CFS-like baseline; everything
-  is normalised to it in the figures).
-* ``RANDOM`` — a static random thread->PU pinning, fresh per repetition.
-* ``ORACLE`` — a static pinning computed from full communication knowledge.
-* ``SPCD`` — dynamic detection + migration by the SPCD mechanism.
+.. deprecated::
+    The ``Policy`` str-enum and :func:`make_scheduler` predate the typed
+    placement engine.  New code should pass a policy *name* string
+    (``"os"``, ``"random"``, ``"oracle"``, ``"spcd"``, ``"spcd-data"``,
+    ``"spcd-combined"``, ``"spcd-replicated"``) or a
+    :class:`~repro.placement.policy.PlacementPolicy` instance to
+    :class:`~repro.engine.simulator.Simulator` and the runners; resolve
+    names with :func:`repro.placement.resolve_policy`.  Passing a
+    ``Policy`` member still works everywhere but emits a
+    :class:`DeprecationWarning` at resolution time.
+
+This module keeps the four-member enum (the paper's Figs. 8-15 compare
+exactly these placements) and a :func:`make_scheduler` that delegates to
+the equivalent typed policy, so pinned seed derivations and scheduler
+RNG streams are unchanged.
 """
 
 from __future__ import annotations
@@ -13,16 +23,20 @@ import enum
 
 import numpy as np
 
-from repro.core.mapping import HierarchicalMapper
 from repro.errors import ConfigurationError
-from repro.kernelsim.scheduler import CfsLikeScheduler, PinnedScheduler, Scheduler
+from repro.kernelsim.scheduler import Scheduler
 from repro.machine.topology import Machine
-from repro.oracle.analyzer import matrix_from_ground_truth
 from repro.workloads.base import Workload
 
 
 class Policy(str, enum.Enum):
-    """The four placements compared in Figs. 8-15."""
+    """The four placements compared in Figs. 8-15 (legacy spelling).
+
+    The placement engine's extended policies (``spcd-data``,
+    ``spcd-combined``, ``spcd-replicated``) have no enum members — they
+    exist only as :class:`~repro.placement.policy.PlacementPolicy`
+    instances and name strings, which is the API going forward.
+    """
 
     OS = "os"
     RANDOM = "random"
@@ -43,31 +57,18 @@ class Policy(str, enum.Enum):
 
 
 def make_scheduler(
-    policy: Policy,
+    policy: "Policy | str",
     machine: Machine,
     workload: Workload,
     rng: np.random.Generator,
 ) -> Scheduler:
-    """Build the scheduler implementing *policy* for *workload*."""
-    n = workload.n_threads
-    if n > machine.n_pus:
-        raise ConfigurationError(
-            f"{n} threads exceed the machine's {machine.n_pus} hardware contexts"
-        )
-    if policy is Policy.OS:
-        scheduler: Scheduler = CfsLikeScheduler(machine, n, rng)
-    elif policy is Policy.RANDOM:
-        pus = rng.permutation(machine.n_pus)[:n]
-        scheduler = PinnedScheduler(machine, n, [int(p) for p in pus])
-    elif policy is Policy.ORACLE:
-        matrix = matrix_from_ground_truth(workload)
-        mapping = HierarchicalMapper(machine).map(matrix)
-        scheduler = PinnedScheduler(machine, n, [int(p) for p in mapping])
-    elif policy is Policy.SPCD:
-        # SPCD starts from an arbitrary (OS-like) placement and migrates.
-        pus = rng.permutation(machine.n_pus)[:n]
-        scheduler = PinnedScheduler(machine, n, [int(p) for p in pus])
-    else:  # pragma: no cover - exhaustive enum
-        raise ConfigurationError(f"unhandled policy {policy}")
-    scheduler.start()
-    return scheduler
+    """Build the scheduler implementing *policy* for *workload*.
+
+    Delegates to the typed policy's ``make_scheduler`` — identical
+    scheduler types, pinnings and RNG consumption as the historical
+    open-coded branches (the parity suite pins the digests).
+    """
+    from repro.placement.policy import resolve_policy
+
+    name = policy.value if isinstance(policy, Policy) else policy
+    return resolve_policy(name).make_scheduler(machine, workload, rng)

@@ -20,6 +20,7 @@ from repro.engine.settings import RunSettings
 from repro.engine.simulator import EngineConfig, SimulationResult, Simulator
 from repro.errors import ConfigurationError
 from repro.machine.topology import Machine
+from repro.placement import PlacementPolicy, resolve_policy
 from repro.rng import derive_seed
 from repro.workloads.base import Workload
 
@@ -90,7 +91,7 @@ class ReplicatedResult:
 
 def run_single(
     workload_factory: WorkloadFactory,
-    policy: Policy | str,
+    policy: "PlacementPolicy | str | Policy",
     *,
     machine: Machine | None = None,
     seed: int = 0,
@@ -113,7 +114,7 @@ def run_single(
 
 def run_replicated(
     workload_factory: WorkloadFactory,
-    policy: Policy | str,
+    policy: "PlacementPolicy | str | Policy",
     *,
     machine: Machine | None = None,
     reps: int = 3,
@@ -144,7 +145,7 @@ def run_replicated(
     """
     if reps <= 0:
         raise ConfigurationError("reps must be positive")
-    policy = Policy.parse(policy)
+    policy = resolve_policy(policy)
     if cache_dir is not _UNSET:
         warnings.warn(
             "run_replicated(cache_dir=...) is deprecated; "
@@ -177,7 +178,7 @@ def run_replicated(
         return next(iter(grid.cells.values()))
     runs: list[SimulationResult] = []
     for rep in range(reps):
-        seed = derive_seed(base_seed, "rep", rep, policy.value)
+        seed = derive_seed(base_seed, "rep", rep, policy.name)
         runs.append(
             run_single(
                 workload_factory,
@@ -195,7 +196,7 @@ def run_replicated(
     first = runs[0]
     return ReplicatedResult(
         workload=first.workload,
-        policy=policy.value,
+        policy=policy.name,
         metrics=metrics,
         runs=runs if keep_runs else [],
     )

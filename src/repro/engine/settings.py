@@ -28,6 +28,10 @@ __all__ = [
     "ENV_CELL_TIMEOUT",
     "ENV_GRID_STRICT",
     "ENV_GRID_WORKERS",
+    "ENV_PLACEMENT_WALK",
+    "ENV_PLACEMENT_WALK_LOCAL_NS",
+    "ENV_PLACEMENT_WALK_REMOTE_NS",
+    "ENV_PT_REPLICATE",
     "ENV_RESULT_CACHE",
     "ENV_RETRY_BACKOFF",
     "ENV_SERVE_CREDIT_WINDOW",
@@ -92,6 +96,14 @@ ENV_SERVE_EVAL_EVERY = "REPRO_SERVE_EVAL_EVERY"
 ENV_SERVE_CREDIT_WINDOW = "REPRO_SERVE_CREDIT_WINDOW"
 #: detection worker processes behind the serve router (1 = single-process)
 ENV_SERVE_WORKERS = "REPRO_SERVE_WORKERS"
+#: charge NUMA-aware page-table-walk latency on every fault
+ENV_PLACEMENT_WALK = "REPRO_PLACEMENT_WALK"
+#: per-level walk latency when the directory page is node-local, ns
+ENV_PLACEMENT_WALK_LOCAL_NS = "REPRO_PLACEMENT_WALK_LOCAL_NS"
+#: per-level walk latency when the directory page is remote, ns
+ENV_PLACEMENT_WALK_REMOTE_NS = "REPRO_PLACEMENT_WALK_REMOTE_NS"
+#: force per-node page-table replication from the first fault on
+ENV_PT_REPLICATE = "REPRO_PT_REPLICATE"
 
 _TRUE = ("1", "true", "yes", "on")
 _FALSE = ("", "0", "false", "no", "off")
@@ -201,6 +213,19 @@ class RunSettings:
     #: capped at :func:`available_cpus` — routed parity tests and drills
     #: legitimately oversubscribe a small host.
     serve_workers: int = 1
+    #: charge NUMA-aware per-level page-table-walk latency on every fault
+    #: (the Fig. 16 walk split); off keeps flat-cost digests bit-identical
+    placement_walk: bool = False
+    #: per-level walk latency override when the directory page is local;
+    #: ``None`` derives it from the machine's :class:`NumaModel`
+    placement_walk_local_ns: "float | None" = None
+    #: per-level walk latency override when the directory page is remote;
+    #: ``None`` derives it from the machine's :class:`NumaModel`
+    placement_walk_remote_ns: "float | None" = None
+    #: activate per-node page-table replicas from the first fault on
+    #: (policy-independent Mitosis baseline; ``spcd-replicated`` instead
+    #: replicates when its first placement decision directs it)
+    pt_replicate: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -235,6 +260,10 @@ class RunSettings:
             raise ConfigurationError("serve_credit_window must be >= 1")
         if self.serve_workers < 1:
             raise ConfigurationError("serve_workers must be >= 1")
+        if self.placement_walk_local_ns is not None and self.placement_walk_local_ns <= 0:
+            raise ConfigurationError("placement_walk_local_ns must be positive (or None)")
+        if self.placement_walk_remote_ns is not None and self.placement_walk_remote_ns <= 0:
+            raise ConfigurationError("placement_walk_remote_ns must be positive (or None)")
 
     @classmethod
     def from_env(cls, environ: "dict[str, str] | None" = None) -> "RunSettings":
@@ -287,6 +316,12 @@ class RunSettings:
             serve_eval_every=_env_int(environ, ENV_SERVE_EVAL_EVERY, 8192),
             serve_credit_window=_env_int(environ, ENV_SERVE_CREDIT_WINDOW, 65536),
             serve_workers=_env_int(environ, ENV_SERVE_WORKERS, 1),
+            placement_walk=_env_bool(environ, ENV_PLACEMENT_WALK),
+            placement_walk_local_ns=_env_float(environ, ENV_PLACEMENT_WALK_LOCAL_NS, None),
+            placement_walk_remote_ns=_env_float(
+                environ, ENV_PLACEMENT_WALK_REMOTE_NS, None
+            ),
+            pt_replicate=_env_bool(environ, ENV_PT_REPLICATE),
         )
 
     def with_overrides(self, **overrides: object) -> "RunSettings":

@@ -32,19 +32,22 @@ from repro.core.manager import SpcdConfig, SpcdManager
 from repro.engine.energy import EnergyBreakdown, EnergyModel, EnergyParams
 from repro.engine.metrics import TimeModel, TimeParams
 from repro.engine.perf import PerfCounters
-from repro.engine.policies import Policy, make_scheduler
+from repro.engine.policies import Policy
 from repro.engine.settings import RunSettings
 from repro.errors import ConfigurationError, SimulationError
 from repro.kernelsim.clock import VirtualClock
 from repro.kernelsim.kthread import TimerWheel
 from repro.kernelsim.scheduler import PinnedScheduler
+from repro.machine.numa import NumaModel
 from repro.machine.topology import Machine, dual_xeon_e5_2650
 from repro.mem.addresspace import AddressSpace
 from repro.mem.fault import FaultPipeline
 from repro.mem.physmem import FrameAllocator
+from repro.mem.ptreplica import ReplicatedPageTable
 from repro.mem.tlb import TlbArray
 from repro.obs.events import CacheEpoch, FaultBatchSummary, RunEnd, RunStart
 from repro.obs.recorder import JsonlRecorder, TraceRecorder, run_trace_path
+from repro.placement import PlacementPolicy, resolve_policy
 from repro.rng import RngFactory
 from repro.units import CACHE_LINE_SHIFT, PAGE_SHIFT
 from repro.workloads.base import Workload
@@ -121,7 +124,7 @@ class Simulator:
     def __init__(
         self,
         workload: Workload,
-        policy: Policy | str,
+        policy: "PlacementPolicy | str | Policy",
         *,
         machine: Machine | None = None,
         seed: int = 0,
@@ -131,7 +134,11 @@ class Simulator:
         settings: RunSettings | None = None,
     ) -> None:
         self.workload = workload
-        self.policy = Policy.parse(policy)
+        #: the typed placement policy; ``policy`` accepts an instance, a
+        #: name string, or (deprecated, warns) a legacy ``Policy`` member
+        self.placement: PlacementPolicy = resolve_policy(policy)
+        #: the policy's stable name (seed derivation, result rows, traces)
+        self.policy: str = self.placement.name
         self.machine = machine or dual_xeon_e5_2650()
         self.config = config or EngineConfig()
         self.seed = seed
@@ -147,14 +154,28 @@ class Simulator:
         if recorder is None and self.settings.trace:
             recorder = JsonlRecorder(
                 run_trace_path(
-                    Path(self.settings.trace), workload.name, self.policy.value, seed
+                    Path(self.settings.trace), workload.name, self.policy, seed
                 )
             )
         self.recorder: TraceRecorder | None = recorder if recorder else None
 
         n = workload.n_threads
         self.clock = VirtualClock()
-        self.address_space = AddressSpace(self.config.capacity_pages)
+        # Page-table choice: replication-capable tables are created only
+        # when a policy or env knob asks for them, so default runs keep the
+        # plain table (and its digests) bit-identical.
+        page_table = None
+        if self.placement.replicate_pt or self.settings.pt_replicate:
+            page_table = ReplicatedPageTable(
+                self.config.capacity_pages, self.machine.n_numa_nodes
+            )
+            if self.settings.pt_replicate:
+                # Env-forced replication is active from the first fault;
+                # policy-directed replication waits for a PlacementDecision.
+                page_table.activate()
+        self.address_space = AddressSpace(
+            self.config.capacity_pages, page_table=page_table
+        )
         workload.setup(self.address_space)
         self.tlbs = TlbArray(self.machine.n_pus)
         frames = FrameAllocator.for_memory(
@@ -167,6 +188,23 @@ class Simulator:
             node_of_pu=self.machine.numa_node_of,
             scalar_resolve_max=self.settings.batch_cutover_resolve,
         )
+        # NUMA-aware page-table-walk charging (REPRO_PLACEMENT_WALK):
+        # enabled before the pretouch so the serial init phase homes the
+        # page-table directory pages on the master's node — exactly the
+        # all-walks-remote starting point Phoenix/Mitosis address.
+        if self.settings.placement_walk:
+            numa = NumaModel(self.machine)
+            local_ns = (
+                self.settings.placement_walk_local_ns
+                if self.settings.placement_walk_local_ns is not None
+                else numa.pt_walk_level_ns(local=True)
+            )
+            remote_ns = (
+                self.settings.placement_walk_remote_ns
+                if self.settings.placement_walk_remote_ns is not None
+                else numa.pt_walk_level_ns(local=False)
+            )
+            self.pipeline.enable_numa_walk(local_ns, remote_ns)
         #: REPRO_SLOW_SPCD=1 keeps the per-fault reference path end to end
         #: (scalar resolution loop + dict detection engine)
         self._batch_faults = not self.settings.slow_spcd
@@ -178,15 +216,15 @@ class Simulator:
         self.time_model = TimeModel(self.machine, params=self.config.time_params)
         self.energy_model = EnergyModel(self.machine, params=self.config.energy_params)
         self.wheel = TimerWheel()
-        self.scheduler = make_scheduler(
-            self.policy, self.machine, workload, self.rngs.rng("policy")
+        self.scheduler = self.placement.make_scheduler(
+            self.machine, workload, self.rngs.rng("policy")
         )
         # Serial pretouch runs before SPCD hooks the fault pipeline, exactly
         # as an application's init phase precedes the detector's attachment.
         if self.config.pretouch == "serial":
             self._pretouch_serial()
         self.manager: SpcdManager | None = None
-        if self.policy is Policy.SPCD:
+        if self.placement.uses_spcd:
             if not isinstance(self.scheduler, PinnedScheduler):
                 raise SimulationError("SPCD requires a pinnable scheduler")
             self.manager = SpcdManager(
@@ -200,6 +238,7 @@ class Simulator:
                 config=spcd_config,
                 recorder=self.recorder,
                 scalar_touch_max=self.settings.batch_cutover_touch,
+                placement=self.placement,
             )
         self.trace = TraceCollector() if self.config.collect_trace else None
         self._thread_rngs = [self.rngs.rng("workload", t) for t in range(n)]
@@ -256,7 +295,7 @@ class Simulator:
             rec.emit(
                 RunStart(
                     workload=self.workload.name,
-                    policy=self.policy.value,
+                    policy=self.policy,
                     seed=self.seed,
                     n_threads=self.workload.n_threads,
                     steps=cfg.steps,
@@ -312,6 +351,9 @@ class Simulator:
         self.perf.wall_s += perf_counter() - t0
         if self.manager is not None:
             self.perf.match_s = self.manager.map_wall_s
+        table = self.address_space.page_table
+        self.perf.pt_walk_levels_local = table.walk_levels_local
+        self.perf.pt_walk_levels_remote = table.walk_levels_remote
         result = self._result()
         if rec is not None:
             self._emit_run_end(rec, result)
@@ -502,10 +544,11 @@ class Simulator:
                 stats=self._stats().as_dict(),
             )
         )
-        detection_ns = mapping_ns = 0.0
+        detection_ns = mapping_ns = replication_ns = 0.0
         if self.manager is not None:
             detection_ns = self.manager.detection_time_ns()
             mapping_ns = self.manager.mapping_time_ns()
+            replication_ns = self.manager.replication_time_ns()
         rec.emit(
             RunEnd(
                 total_ns=float(self.clock.now_ns),
@@ -518,6 +561,7 @@ class Simulator:
                 mapping_ns=mapping_ns,
                 detection_pct=result.detection_pct,
                 mapping_pct=result.mapping_pct,
+                replication_ns=replication_ns,
                 perf=self.perf.as_dict(),
                 perf_other_s=self.perf.other_s,
             )
@@ -552,7 +596,7 @@ class Simulator:
         os_migrations = self.scheduler.total_migrations()
         return SimulationResult(
             workload=self.workload.name,
-            policy=self.policy.value,
+            policy=self.policy,
             exec_time_s=total_ns * 1e-9,
             instructions=instructions,
             l2_mpki=stats.mpki(2, int(instructions)),

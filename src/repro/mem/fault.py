@@ -158,6 +158,11 @@ class FaultPipeline:
         )
         self._hooks: list[FaultHook] = []
         self._batch_hooks: list[FaultBatchHook] = []
+        #: when True, each fault's page-table walk additionally charges
+        #: NUMA-aware per-level latency via ``PageTable.charge_walk``
+        #: (``RunSettings.placement_walk``); off by default so flat-cost
+        #: digests stay bit-identical.
+        self.numa_walk = False
         self.first_touch_faults = 0
         self.injected_faults = 0
         self.fault_time_ns = 0.0
@@ -187,6 +192,18 @@ class FaultPipeline:
     def charge_hook_time(self, ns: float) -> None:
         """Hooks call this to account their processing cost (virtual ns)."""
         self.hook_time_ns += ns
+
+    def enable_numa_walk(self, local_ns: float, remote_ns: float) -> None:
+        """Charge NUMA-aware per-level walk latency on every handled fault.
+
+        *local_ns*/*remote_ns* are the cost of one radix level whose
+        directory page is homed on / off the walking PU's node (see
+        :meth:`repro.mem.pagetable.PageTable.charge_walk`).
+        """
+        table = self.address_space.page_table
+        table.level_local_ns = local_ns
+        table.level_remote_ns = remote_ns
+        self.numa_walk = True
 
     def _dispatch(self, batch: FaultBatch) -> None:
         """Run batch hooks on *batch* and per-fault hooks on each fault."""
@@ -222,6 +239,8 @@ class FaultPipeline:
             raise PageFaultError(f"vpn {vpn} is present; no fault to handle")
 
         table.walk(vpn)  # handler performs one page-table walk (Sec. III-C4)
+        if self.numa_walk:
+            self.fault_time_ns += table.charge_walk(vpn, self.node_of_pu(pu_id))
         if table.is_populated(vpn):
             kind = FaultKind.INJECTED
             table.restore_present(vpn)
@@ -298,6 +317,8 @@ class FaultPipeline:
 
         table = self.address_space.page_table
         table.walk_batch(vpns)  # bounds-checks and accounts one walk per fault
+        if self.numa_walk:
+            self.fault_time_ns += table.charge_walk(vpns, self.node_of_pu(pu_id))
         if table.present_mask(vpns).any():
             bad = vpns[table.present_mask(vpns)][0]
             raise PageFaultError(f"vpn {int(bad)} is present; no fault to handle")
@@ -371,6 +392,8 @@ class FaultPipeline:
             if table.is_present(vpn):
                 raise PageFaultError(f"vpn {vpn} is present; no fault to handle")
             table.walk(vpn)
+            if self.numa_walk:
+                self.fault_time_ns += table.charge_walk(vpn, self.node_of_pu(pu_id))
             if table.is_populated(vpn):
                 table.restore_present(vpn)
                 home = table.home_node_of(vpn)

@@ -1,0 +1,53 @@
+"""Unified NUMA placement: thread + data + page-table decisions, co-decided.
+
+The paper maps threads only; Phoenix shows thread and page-table placement
+must be orchestrated together on NUMA, and Mitosis shows per-node
+page-table replication pays off once walks routinely cross sockets
+(PAPERS.md).  This package is the orchestration layer: a
+:class:`PlacementPolicy` sees the communication matrix and the per-page
+node-fault counters in one ``evaluate()`` and emits a single frozen
+:class:`PlacementDecision` — thread remap + data-page migrations +
+replication directive — which :class:`~repro.core.manager.SpcdManager`
+consumes atomically.
+
+Policies are named; :func:`resolve_policy` is the front door::
+
+    from repro import Simulator
+    result = Simulator(make_npb("SP"), "spcd-combined", seed=1).run()
+
+The mechanisms live elsewhere (thread remap in
+:mod:`repro.kernelsim.migration`, page migration in
+:mod:`repro.core.datamap`, replication in :mod:`repro.mem.ptreplica`);
+this package only decides.  DESIGN.md §14 documents the architecture,
+the decision flow and the replication coherence rules.
+"""
+
+from repro.placement.decision import PageMigration, PlacementDecision, PlacementView
+from repro.placement.policy import (
+    CombinedPlacementPolicy,
+    DataPlacementPolicy,
+    OraclePolicy,
+    OsPolicy,
+    PlacementPolicy,
+    RandomPolicy,
+    ReplicatedPlacementPolicy,
+    ThreadPlacementPolicy,
+    canonical_policies,
+    resolve_policy,
+)
+
+__all__ = [
+    "CombinedPlacementPolicy",
+    "DataPlacementPolicy",
+    "OraclePolicy",
+    "OsPolicy",
+    "PageMigration",
+    "PlacementDecision",
+    "PlacementPolicy",
+    "PlacementView",
+    "RandomPolicy",
+    "ReplicatedPlacementPolicy",
+    "ThreadPlacementPolicy",
+    "canonical_policies",
+    "resolve_policy",
+]

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.oracle",
     "repro.analysis",
     "repro.obs",
+    "repro.placement",
     "repro.serve",
 ]
 
@@ -50,6 +51,8 @@ TOP_LEVEL_API = {
     "HierarchicalMapper",
     "JsonlRecorder",
     "Machine",
+    "PlacementDecision",
+    "PlacementPolicy",
     "Policy",
     "ProducerConsumerWorkload",
     "ResultCache",
@@ -62,9 +65,11 @@ TOP_LEVEL_API = {
     "SyntheticNpbWorkload",
     "TraceRecorder",
     "build_machine",
+    "canonical_policies",
     "dual_xeon_e5_2650",
     "make_npb",
     "max_weight_perfect_matching",
+    "resolve_policy",
     "run_cell",
     "run_grid",
     "run_replicated",
@@ -97,7 +102,7 @@ ENGINE_API = {
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
     def test_api_surface_snapshot(self):
         assert set(repro.__all__) == TOP_LEVEL_API
