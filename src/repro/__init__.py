@@ -41,7 +41,17 @@ from repro.core import (
     SpcdConfig,
     SpcdDetector,
     SpcdManager,
+    make_mapper,
     max_weight_perfect_matching,
+)
+from repro.graphs import (
+    CsrGraph,
+    PartitionPageRankWorkload,
+    ScalableHierarchicalMapper,
+    SparseCommMatrix,
+    SpmvHaloWorkload,
+    make_pagerank,
+    make_spmv,
 )
 from repro.engine import (
     CellFailure,
@@ -67,34 +77,42 @@ from repro.placement import (
 )
 from repro.workloads import ProducerConsumerWorkload, SyntheticNpbWorkload, make_npb
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CellFailure",
     "CommunicationFilter",
     "CommunicationMatrix",
+    "CsrGraph",
     "EngineConfig",
     "GridResult",
     "HierarchicalMapper",
     "JsonlRecorder",
     "Machine",
+    "PartitionPageRankWorkload",
     "PlacementDecision",
     "PlacementPolicy",
     "Policy",
     "ProducerConsumerWorkload",
     "ResultCache",
     "RunSettings",
+    "ScalableHierarchicalMapper",
     "SimulationResult",
     "Simulator",
+    "SparseCommMatrix",
     "SpcdConfig",
     "SpcdDetector",
     "SpcdManager",
+    "SpmvHaloWorkload",
     "SyntheticNpbWorkload",
     "TraceRecorder",
     "build_machine",
     "canonical_policies",
     "dual_xeon_e5_2650",
+    "make_mapper",
     "make_npb",
+    "make_pagerank",
+    "make_spmv",
     "max_weight_perfect_matching",
     "resolve_policy",
     "run_cell",

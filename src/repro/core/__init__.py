@@ -16,7 +16,13 @@ from repro.core.grouping import group_matrix, pair_groups
 from repro.core.hashtable import ArrayShareTable, ShareTable, ShareEntry, hash_64, hash_64_batch
 from repro.core.injector import FaultInjector, InjectorMode
 from repro.core.manager import SpcdManager, SpcdConfig
-from repro.core.mapping import HierarchicalMapper
+from repro.core.mapping import (
+    MAPPER_ALGORITHMS,
+    HierarchicalMapper,
+    lay_out_socket_groups,
+    make_mapper,
+    mapping_comm_cost,
+)
 from repro.core.matching import (
     greedy_matching,
     matching_weight,
@@ -25,6 +31,7 @@ from repro.core.matching import (
 from repro.core.spcd import SpcdDetector
 
 __all__ = [
+    "MAPPER_ALGORITHMS",
     "CommunicationFilter",
     "SpcdDataMapper",
     "CommunicationMatrix",
@@ -41,6 +48,9 @@ __all__ = [
     "group_matrix",
     "hash_64",
     "hash_64_batch",
+    "lay_out_socket_groups",
+    "make_mapper",
+    "mapping_comm_cost",
     "matching_weight",
     "max_weight_perfect_matching",
     "pair_groups",

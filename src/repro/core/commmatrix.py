@@ -123,6 +123,20 @@ class CommunicationMatrix:
         """Total communication (each pair counted once)."""
         return float(self._m.sum() / 2.0)
 
+    def nnz(self) -> int:
+        """Nonzero off-diagonal cells (both triangles counted)."""
+        return int(np.count_nonzero(self._m))
+
+    def density(self) -> float:
+        """Nonzero fraction of the off-diagonal cells, in [0, 1].
+
+        The observability signal behind the ``REPRO_SPARSE_COMM`` gate:
+        power-law patterns at large n sit well below 0.1, blocky NAS
+        patterns near 1.0.  Emitted with every ``MappingDecision`` event.
+        """
+        off_diag = self.n * (self.n - 1)
+        return self.nnz() / off_diag if off_diag else 0.0
+
     def normalized(self) -> np.ndarray:
         """Matrix scaled to [0, 1] by its maximum (for heatmaps)."""
         peak = self._m.max()

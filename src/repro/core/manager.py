@@ -16,6 +16,8 @@ paper's Fig. 16 split into *detection overhead* (fault hook + injection) and
 from __future__ import annotations
 
 import hashlib
+import logging
+import math
 from dataclasses import dataclass
 from time import perf_counter
 
@@ -23,7 +25,7 @@ import numpy as np
 
 from repro.core.filter import CommunicationFilter
 from repro.core.injector import FaultInjector, InjectorMode
-from repro.core.mapping import HierarchicalMapper, mapping_comm_cost
+from repro.core.mapping import make_mapper, mapping_comm_cost
 from repro.core.spcd import SpcdDetector
 from repro.kernelsim.kthread import TimerWheel
 from repro.kernelsim.migration import MigrationEngine
@@ -37,6 +39,13 @@ from repro.obs.recorder import TraceRecorder
 from repro.placement.decision import PageMigration, PlacementDecision, PlacementView
 from repro.placement.policy import PlacementPolicy, ThreadPlacementPolicy
 from repro.units import MSEC, PAGE_SIZE
+
+_log = logging.getLogger(__name__)
+
+#: standalone-default for the Edmonds -> hierarchical auto-switch; mirrors
+#: ``RunSettings.map_hierarchical_min_n`` (the simulator threads the settings
+#: value through ``SpcdConfig.hierarchical_min_n``)
+DEFAULT_HIERARCHICAL_MIN_N = 128
 
 
 def matrix_digest(matrix) -> str:
@@ -113,6 +122,18 @@ class SpcdConfig:
     #: extension the paper names in Sec. IV; see repro.core.datamap
     data_mapping: bool = False
     data_scan_period_ns: int = 100 * MSEC
+    #: mapping engine: "edmonds", "hierarchical", or None = resolve by
+    #: precedence (explicit config > placement policy's ``mapper_algorithm``
+    #: > thread-count auto-switch)
+    mapper_algorithm: str | None = None
+    #: auto-switch to the hierarchical mapper at this thread count; None
+    #: uses :data:`DEFAULT_HIERARCHICAL_MIN_N` (the simulator threads
+    #: ``REPRO_MAP_HIERARCHICAL_MIN_N`` through here)
+    hierarchical_min_n: int | None = None
+    #: store the detection matrix as a
+    #: :class:`~repro.graphs.sparse.SparseCommMatrix` (digest-identical;
+    #: ``REPRO_SPARSE_COMM``)
+    sparse_matrix: bool = False
 
 
 @dataclass
@@ -173,6 +194,7 @@ class SpcdManager:
             pipeline=pipeline,
             engine=cfg.detector_engine,
             scalar_touch_max=scalar_touch_max,
+            sparse_matrix=cfg.sparse_matrix,
         )
         self.injector = FaultInjector(
             pipeline,
@@ -192,7 +214,9 @@ class SpcdManager:
             hysteresis=cfg.filter_hysteresis,
             margin=cfg.filter_margin,
         )
-        self.mapper = HierarchicalMapper(
+        self.mapper_algorithm = self._select_mapper_algorithm(cfg)
+        self.mapper = make_mapper(
+            self.mapper_algorithm,
             machine,
             use_greedy_matching=cfg.use_greedy_matching,
             stickiness=cfg.mapper_stickiness,
@@ -225,6 +249,36 @@ class SpcdManager:
                 timer_wheel.register(
                     "spcd-datamap", cfg.data_scan_period_ns, self.data_mapper.scan
                 )
+
+    def _select_mapper_algorithm(self, cfg: SpcdConfig) -> str:
+        """Resolve the mapping engine for this run.
+
+        Precedence: explicit ``SpcdConfig.mapper_algorithm``, then the
+        placement policy's ``mapper_algorithm`` attribute (the ``spcd-hier``
+        policy), then the thread-count auto-switch — Edmonds stays the
+        default below the threshold, so every paper-scale digest is
+        untouched.
+        """
+        explicit = cfg.mapper_algorithm or getattr(
+            self.placement, "mapper_algorithm", None
+        )
+        if explicit:
+            return str(explicit)
+        min_n = (
+            cfg.hierarchical_min_n
+            if cfg.hierarchical_min_n is not None
+            else DEFAULT_HIERARCHICAL_MIN_N
+        )
+        if self.n_threads >= min_n:
+            _log.info(
+                "mapping: auto-selected the hierarchical mapper "
+                "(n_threads=%d >= REPRO_MAP_HIERARCHICAL_MIN_N=%d); "
+                "Edmonds matching would be O(n^3) here",
+                self.n_threads,
+                min_n,
+            )
+            return "hierarchical"
+        return "edmonds"
 
     # -- periodic evaluation ---------------------------------------------------
     def evaluate(self, now_ns: int) -> bool:
@@ -315,11 +369,18 @@ class SpcdManager:
         current = self.migrator.scheduler.placement()
         t_map = perf_counter()
         mapping = self.mapper.map(matrix, current=current)
-        self.map_wall_s += perf_counter() - t_map
+        decide_wall_s = perf_counter() - t_map
+        self.map_wall_s += decide_wall_s
         self.overheads.mapper_calls += 1
-        self.overheads.mapping_ns += (
-            self.config.mapping_cost_ns_per_n3 * self.n_threads**3
-        )
+        n = self.n_threads
+        if self.mapper_algorithm == "hierarchical":
+            # Recursive bisection + bounded refinement: ~n^2 log n work, so
+            # its virtual cost scales the same way (same per-unit constant).
+            self.overheads.mapping_ns += (
+                self.config.mapping_cost_ns_per_n3 * n * n * max(1.0, math.log2(n))
+            )
+        else:
+            self.overheads.mapping_ns += self.config.mapping_cost_ns_per_n3 * n**3
         cost_now = mapping_comm_cost(matrix.matrix, current, self.machine)
         cost_new = mapping_comm_cost(matrix.matrix, mapping, self.machine)
         vetoed = cost_now > 0 and cost_new > self.config.min_improvement * cost_now
@@ -332,6 +393,9 @@ class SpcdManager:
                     cost_now=float(cost_now),
                     cost_new=float(cost_new),
                     accepted=not vetoed,
+                    algorithm=self.mapper_algorithm,
+                    matrix_density=float(matrix.density()),
+                    decide_wall_s=float(decide_wall_s),
                 )
             )
         if vetoed:

@@ -89,6 +89,7 @@ class SpcdDetector:
         pipeline: FaultPipeline | None = None,
         engine: str | None = None,
         scalar_touch_max: "int | None" = None,
+        sparse_matrix: bool = False,
     ) -> None:
         if granularity <= 0:
             raise ConfigurationError("granularity must be positive")
@@ -108,7 +109,14 @@ class SpcdDetector:
             )
         else:
             self.table = ShareTable(table_size)
-        self.matrix = CommunicationMatrix(n_threads)
+        if sparse_matrix:
+            # Sparse storage, identical semantics: every detection digest is
+            # bit-for-bit the dense backend's (tests/test_sparse_comm.py).
+            from repro.graphs.sparse import SparseCommMatrix
+
+            self.matrix: CommunicationMatrix = SparseCommMatrix(n_threads)
+        else:
+            self.matrix = CommunicationMatrix(n_threads)
         self.stats = SpcdDetectorStats()
         self._pipeline = pipeline
         if pipeline is not None:

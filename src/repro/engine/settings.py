@@ -28,6 +28,7 @@ __all__ = [
     "ENV_CELL_TIMEOUT",
     "ENV_GRID_STRICT",
     "ENV_GRID_WORKERS",
+    "ENV_MAP_HIERARCHICAL_MIN_N",
     "ENV_PLACEMENT_WALK",
     "ENV_PLACEMENT_WALK_LOCAL_NS",
     "ENV_PLACEMENT_WALK_REMOTE_NS",
@@ -47,6 +48,7 @@ __all__ = [
     "ENV_SLOW_HIERARCHY",
     "ENV_SLOW_MESI",
     "ENV_SLOW_SPCD",
+    "ENV_SPARSE_COMM",
     "ENV_TRACE",
     "RunSettings",
     "available_cpus",
@@ -104,6 +106,11 @@ ENV_PLACEMENT_WALK_LOCAL_NS = "REPRO_PLACEMENT_WALK_LOCAL_NS"
 ENV_PLACEMENT_WALK_REMOTE_NS = "REPRO_PLACEMENT_WALK_REMOTE_NS"
 #: force per-node page-table replication from the first fault on
 ENV_PT_REPLICATE = "REPRO_PT_REPLICATE"
+#: store detection matrices sparsely (dict-of-rows, digest-identical)
+ENV_SPARSE_COMM = "REPRO_SPARSE_COMM"
+#: thread count at which mapping auto-switches from Edmonds matching to
+#: the scalable hierarchical partitioner
+ENV_MAP_HIERARCHICAL_MIN_N = "REPRO_MAP_HIERARCHICAL_MIN_N"
 
 _TRUE = ("1", "true", "yes", "on")
 _FALSE = ("", "0", "false", "no", "off")
@@ -226,6 +233,13 @@ class RunSettings:
     #: (policy-independent Mitosis baseline; ``spcd-replicated`` instead
     #: replicates when its first placement decision directs it)
     pt_replicate: bool = False
+    #: store detection matrices as :class:`~repro.graphs.sparse.SparseCommMatrix`
+    #: (bit-identical digests; O(nnz) memory and mapper input at scale)
+    sparse_comm: bool = False
+    #: thread count at which the SPCD manager auto-selects the scalable
+    #: hierarchical mapper over Edmonds matching (paper-scale runs — and
+    #: their digests — sit below the default and are untouched)
+    map_hierarchical_min_n: int = 128
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -264,6 +278,8 @@ class RunSettings:
             raise ConfigurationError("placement_walk_local_ns must be positive (or None)")
         if self.placement_walk_remote_ns is not None and self.placement_walk_remote_ns <= 0:
             raise ConfigurationError("placement_walk_remote_ns must be positive (or None)")
+        if self.map_hierarchical_min_n < 2:
+            raise ConfigurationError("map_hierarchical_min_n must be >= 2")
 
     @classmethod
     def from_env(cls, environ: "dict[str, str] | None" = None) -> "RunSettings":
@@ -322,6 +338,8 @@ class RunSettings:
                 environ, ENV_PLACEMENT_WALK_REMOTE_NS, None
             ),
             pt_replicate=_env_bool(environ, ENV_PT_REPLICATE),
+            sparse_comm=_env_bool(environ, ENV_SPARSE_COMM),
+            map_hierarchical_min_n=_env_int(environ, ENV_MAP_HIERARCHICAL_MIN_N, 128),
         )
 
     def with_overrides(self, **overrides: object) -> "RunSettings":

@@ -18,6 +18,7 @@ units require it (energy).  Ratios such as MPKI are scale-free.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
@@ -227,6 +228,17 @@ class Simulator:
         if self.placement.uses_spcd:
             if not isinstance(self.scheduler, PinnedScheduler):
                 raise SimulationError("SPCD requires a pinnable scheduler")
+            # Settings flow into the SPCD config, but only where the config
+            # left the knob at its default — an explicit SpcdConfig wins, and
+            # default runs keep default semantics (and digests) untouched.
+            effective_spcd = spcd_config or SpcdConfig()
+            overrides: dict[str, object] = {}
+            if self.settings.sparse_comm and not effective_spcd.sparse_matrix:
+                overrides["sparse_matrix"] = True
+            if effective_spcd.hierarchical_min_n is None:
+                overrides["hierarchical_min_n"] = self.settings.map_hierarchical_min_n
+            if overrides:
+                effective_spcd = dataclasses.replace(effective_spcd, **overrides)
             self.manager = SpcdManager(
                 self.machine,
                 n,
@@ -235,7 +247,7 @@ class Simulator:
                 self.rngs.rng("injector"),
                 tlbs=self.tlbs,
                 timer_wheel=self.wheel,
-                config=spcd_config,
+                config=effective_spcd,
                 recorder=self.recorder,
                 scalar_touch_max=self.settings.batch_cutover_touch,
                 placement=self.placement,

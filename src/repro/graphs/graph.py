@@ -1,0 +1,316 @@
+"""Graph / sparse-matrix description layer.
+
+A :class:`CsrGraph` is an undirected weighted graph in CSR form — the
+shared-memory analogue of a sparse matrix's nonzero structure.  Two kinds of
+sources feed it:
+
+* **synthetic generators** — :func:`rmat_graph` (Graph500-style recursive
+  quadrant sampling) and :func:`powerlaw_graph` (Chung-Lu expected-degree
+  model), both of which produce the skewed, power-law degree distributions
+  irregular scientific codes exhibit;
+* **Matrix-Market ingestion** — :func:`load_matrix_market` reads the
+  ``coordinate`` format every sparse-matrix collection distributes, so real
+  matrices drive the SpMV/PageRank workloads without any extra dependency.
+
+:func:`partition_rows` + :func:`partition_comm_matrix` turn a graph and a
+thread count into the ground-truth thread-level communication matrix: rows
+are block-partitioned over threads and every cross-partition nonzero is
+halo-exchange communication between its two owners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError, WorkloadError
+
+__all__ = [
+    "CsrGraph",
+    "load_matrix_market",
+    "partition_comm_matrix",
+    "partition_rows",
+    "powerlaw_graph",
+    "rmat_graph",
+    "save_matrix_market",
+]
+
+
+@dataclass(frozen=True, eq=False)
+class CsrGraph:
+    """An undirected weighted graph in compressed-sparse-row form.
+
+    The adjacency is stored symmetrically (every edge appears in both
+    endpoint rows), with no self-loops and no duplicate entries; column
+    indices within each row are sorted ascending.  This mirrors the nonzero
+    structure of a symmetric sparse matrix.
+    """
+
+    n: int
+    indptr: np.ndarray = field(repr=False)
+    indices: np.ndarray = field(repr=False)
+    weights: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError("graphs need at least one vertex")
+        if self.indptr.shape != (self.n + 1,):
+            raise ConfigurationError("indptr must have n+1 entries")
+        if self.indices.shape != self.weights.shape:
+            raise ConfigurationError("indices and weights must have equal shape")
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> "CsrGraph":
+        """Build a symmetric CSR graph from an edge list.
+
+        Self-loops are dropped, duplicate edges coalesce by summing their
+        weights, and each undirected edge is stored in both rows.  *weights*
+        defaults to 1.0 per listed edge, so duplicates become edge
+        multiplicities — exactly how R-MAT's repeated samples turn into
+        power-law edge weights.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if weights is None:
+            weights = np.ones(rows.shape, dtype=np.float64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if rows.size and (rows.min() < 0 or cols.min() < 0
+                          or rows.max() >= n or cols.max() >= n):
+            raise ConfigurationError("edge endpoint out of range")
+        keep = rows != cols
+        rows, cols, weights = rows[keep], cols[keep], weights[keep]
+        # Symmetrise: store each undirected edge in both directions, then
+        # coalesce duplicates on the flattened (row, col) key.
+        r = np.concatenate([rows, cols])
+        c = np.concatenate([cols, rows])
+        w = np.concatenate([weights, weights])
+        key = r * np.int64(n) + c
+        order = np.argsort(key, kind="stable")
+        key, w = key[order], w[order]
+        uniq, start = np.unique(key, return_index=True)
+        sums = np.add.reduceat(w, start) if key.size else w
+        out_rows = (uniq // n).astype(np.int64)
+        out_cols = (uniq % n).astype(np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, out_rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(n=n, indptr=indptr, indices=out_cols, weights=sums)
+
+    # -- views --------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Stored entries (each undirected edge counts twice)."""
+        return int(self.indices.size)
+
+    @property
+    def n_edges(self) -> int:
+        """Undirected edge count."""
+        return self.nnz // 2
+
+    def row(self, i: int) -> "tuple[np.ndarray, np.ndarray]":
+        """(neighbour ids, edge weights) of vertex *i*."""
+        lo, hi = int(self.indptr[i]), int(self.indptr[i + 1])
+        return self.indices[lo:hi], self.weights[lo:hi]
+
+    def degrees(self) -> np.ndarray:
+        """Per-vertex neighbour count."""
+        return np.diff(self.indptr)
+
+    def to_dense(self) -> np.ndarray:
+        """Dense symmetric adjacency matrix (small graphs / tests only)."""
+        m = np.zeros((self.n, self.n))
+        rows = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.indptr))
+        m[rows, self.indices] = self.weights
+        return m
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CsrGraph(n={self.n}, edges={self.n_edges})"
+
+
+# ---------------------------------------------------------------------------
+# synthetic generators
+# ---------------------------------------------------------------------------
+def rmat_graph(
+    n: int,
+    avg_degree: float = 8.0,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+) -> CsrGraph:
+    """A Graph500-style R-MAT graph with a power-law degree distribution.
+
+    Each edge is drawn by recursively descending the adjacency matrix's
+    quadrants with probabilities ``(a, b, c, d)``; the default parameters
+    are the Graph500 reference values, which concentrate edges on a few hub
+    vertices.  Duplicate draws coalesce into edge weights, so hub links are
+    also the *heaviest* links — the skew both generators and real irregular
+    matrices share.
+    """
+    if n < 2:
+        raise ConfigurationError("rmat_graph needs at least two vertices")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ConfigurationError("R-MAT probabilities must be nonnegative")
+    scale = max(1, int(np.ceil(np.log2(n))))
+    m = max(1, int(round(n * avg_degree / 2.0)))
+    rng = np.random.default_rng(seed)
+    rows = np.zeros(m, dtype=np.int64)
+    cols = np.zeros(m, dtype=np.int64)
+    for _ in range(scale):
+        u = rng.random(m)
+        right = (u >= a + c) | ((u >= a) & (u < a + b))  # quadrants b, d
+        down = u >= a + b  # quadrants c, d
+        rows = rows * 2 + down.astype(np.int64)
+        cols = cols * 2 + right.astype(np.int64)
+    keep = (rows < n) & (cols < n) & (rows != cols)
+    return CsrGraph.from_edges(n, rows[keep], cols[keep])
+
+
+def powerlaw_graph(
+    n: int,
+    avg_degree: float = 8.0,
+    *,
+    exponent: float = 2.1,
+    seed: int = 0,
+) -> CsrGraph:
+    """A Chung-Lu graph whose expected degrees follow a power law.
+
+    Vertex *i*'s expected degree is proportional to ``(i+1)**(-1/(exponent-1))``,
+    normalised to *avg_degree*; both endpoints of every edge are drawn
+    independently from that distribution.
+    """
+    if n < 2:
+        raise ConfigurationError("powerlaw_graph needs at least two vertices")
+    if exponent <= 1.0:
+        raise ConfigurationError("power-law exponent must exceed 1")
+    rng = np.random.default_rng(seed)
+    w = (np.arange(1, n + 1, dtype=np.float64)) ** (-1.0 / (exponent - 1.0))
+    p = w / w.sum()
+    m = max(1, int(round(n * avg_degree / 2.0)))
+    rows = rng.choice(n, size=m, p=p)
+    cols = rng.choice(n, size=m, p=p)
+    keep = rows != cols
+    return CsrGraph.from_edges(n, rows[keep], cols[keep])
+
+
+# ---------------------------------------------------------------------------
+# Matrix-Market ingestion
+# ---------------------------------------------------------------------------
+def load_matrix_market(path: "str | Path") -> CsrGraph:
+    """Read a square sparse matrix in Matrix-Market ``coordinate`` format.
+
+    Supports ``real``/``integer``/``pattern`` fields and both ``general``
+    and ``symmetric`` symmetry (the two layouts collections actually ship).
+    Off-diagonal structure becomes the graph; values become edge weights
+    (absolute value — communication volume has no sign), pattern entries
+    weigh 1.0.
+    """
+    path = Path(path)
+    with path.open() as f:
+        header = f.readline().strip().lower().split()
+        if len(header) < 4 or header[0] != "%%matrixmarket" or header[1] != "matrix":
+            raise WorkloadError(f"{path}: not a Matrix-Market file")
+        layout, fmt = header[2], header[3]
+        symmetry = header[4] if len(header) > 4 else "general"
+        if layout != "coordinate":
+            raise WorkloadError(f"{path}: only 'coordinate' matrices are supported")
+        if fmt not in ("real", "integer", "pattern"):
+            raise WorkloadError(f"{path}: unsupported field type {fmt!r}")
+        line = f.readline()
+        while line.startswith("%"):
+            line = f.readline()
+        parts = line.split()
+        if len(parts) != 3:
+            raise WorkloadError(f"{path}: malformed size line {line!r}")
+        n_rows, n_cols, nnz = (int(p) for p in parts)
+        if n_rows != n_cols:
+            raise WorkloadError(f"{path}: matrix must be square, got {n_rows}x{n_cols}")
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.ones(nnz, dtype=np.float64)
+        k = 0
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            if k >= nnz:
+                raise WorkloadError(f"{path}: more entries than the header's {nnz}")
+            fields = line.split()
+            rows[k] = int(fields[0]) - 1
+            cols[k] = int(fields[1]) - 1
+            if fmt != "pattern":
+                vals[k] = abs(float(fields[2]))
+            k += 1
+        if k != nnz:
+            raise WorkloadError(f"{path}: header promised {nnz} entries, found {k}")
+    return CsrGraph.from_edges(n_rows, rows, cols, vals)
+
+
+def save_matrix_market(graph: CsrGraph, path: "str | Path") -> None:
+    """Write *graph* as a symmetric Matrix-Market ``coordinate real`` file.
+
+    Only the lower triangle is written (the symmetric layout), so a
+    :func:`load_matrix_market` round trip reproduces the graph exactly.
+    """
+    path = Path(path)
+    rows = np.repeat(np.arange(graph.n, dtype=np.int64), np.diff(graph.indptr))
+    lower = rows > graph.indices
+    r, c, w = rows[lower], graph.indices[lower], graph.weights[lower]
+    with path.open("w") as f:
+        f.write("%%MatrixMarket matrix coordinate real symmetric\n")
+        f.write(f"{graph.n} {graph.n} {r.size}\n")
+        for i, j, v in zip(r.tolist(), c.tolist(), w.tolist()):
+            f.write(f"{i + 1} {j + 1} {v:.17g}\n")
+
+
+# ---------------------------------------------------------------------------
+# row partitioning -> thread communication
+# ---------------------------------------------------------------------------
+def partition_rows(n_vertices: int, n_parts: int) -> np.ndarray:
+    """Contiguous balanced block partition: vertex -> owning part id.
+
+    Block sizes differ by at most one (the first ``n % parts`` blocks take
+    the extra vertex), matching how SpMV row-partitions a matrix across
+    threads.
+    """
+    if n_parts < 1 or n_parts > n_vertices:
+        raise ConfigurationError("need 1 <= n_parts <= n_vertices")
+    base, extra = divmod(n_vertices, n_parts)
+    sizes = np.full(n_parts, base, dtype=np.int64)
+    sizes[:extra] += 1
+    return np.repeat(np.arange(n_parts, dtype=np.int64), sizes)
+
+
+def partition_comm_matrix(graph: CsrGraph, parts: np.ndarray, n_parts: int) -> np.ndarray:
+    """Thread-level communication from a partitioned graph.
+
+    Cell ``(p, q)`` accumulates the weight of every edge with one endpoint
+    in part *p* and the other in part *q* — the halo-exchange volume between
+    the two owners.  Symmetric with zero diagonal; with a power-law graph
+    the result is exactly the skewed, asymmetric-across-pairs pattern the
+    regular NPB generators cannot produce.
+    """
+    parts = np.asarray(parts, dtype=np.int64)
+    if parts.shape != (graph.n,):
+        raise ConfigurationError("parts must assign every vertex")
+    rows = np.repeat(np.arange(graph.n, dtype=np.int64), np.diff(graph.indptr))
+    pr, pc = parts[rows], parts[graph.indices]
+    cross = pr != pc
+    out = np.zeros((n_parts, n_parts))
+    np.add.at(out, (pr[cross], pc[cross]), graph.weights[cross])
+    # CSR stores both directions, so (p, q) and (q, p) already accumulate
+    # the same total; enforce exact symmetry against float summation order.
+    out = (out + out.T) / 2.0
+    np.fill_diagonal(out, 0.0)
+    return out

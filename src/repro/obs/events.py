@@ -17,9 +17,9 @@ descriptive:
   :mod:`repro.obs.report` reproduces the Fig. 16 detection/mapping split
   bit-for-bit instead of re-deriving it approximately;
 * wall-clock (host) measurements appear **only** in :class:`RunEnd`'s
-  ``perf`` field, so two runs with the same seed produce byte-identical
-  streams once that single field is masked (pinned by
-  ``tests/test_obs.py``).
+  ``perf`` field and :class:`MappingDecision`'s ``decide_wall_s``, so two
+  runs with the same seed produce byte-identical streams once those fields
+  are masked (pinned by ``tests/test_obs.py``).
 
 Events serialise to plain dicts (``to_dict``) with a ``type`` tag; all
 values are JSON-native (ints, floats, bools, strings, lists).
@@ -169,7 +169,14 @@ class MappingDecision(TraceEvent):
     """A mapper invocation: the proposed mapping against the current one.
 
     ``accepted`` is False when the improvement gate vetoed the migration
-    (``cost_new > min_improvement * cost_now``).
+    (``cost_new > min_improvement * cost_now``).  ``algorithm`` names the
+    engine that produced the proposal (``edmonds`` or ``hierarchical``),
+    ``matrix_density`` is the nonzero fraction of the decided matrix, and
+    ``decide_wall_s`` is the engine's host wall-clock — the second
+    wall-clock field of a trace besides :class:`RunEnd`'s ``perf``, masked
+    by the same determinism test, so decision cost at scale is observable
+    per decision rather than only as a run-level aggregate.  Defaults keep
+    traces from older recorders readable.
     """
 
     type: ClassVar[str] = "mapping_decision"
@@ -180,6 +187,9 @@ class MappingDecision(TraceEvent):
     cost_now: float
     cost_new: float
     accepted: bool
+    algorithm: str = "edmonds"
+    matrix_density: float = 0.0
+    decide_wall_s: float = 0.0
 
 
 @dataclass(frozen=True)

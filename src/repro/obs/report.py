@@ -95,6 +95,13 @@ class RunReport:
     verdicts: Counter = field(default_factory=Counter)
     mapper_calls: int = 0
     vetoed_mappings: int = 0
+    #: mapping decisions per engine ("edmonds"/"hierarchical")
+    mapper_algorithms: Counter = field(default_factory=Counter)
+    #: host wall-clock spent inside mapping decisions (sum of the
+    #: per-decision ``decide_wall_s`` fields; 0.0 for pre-graphs traces)
+    decide_wall_s: float = 0.0
+    #: nonzero fraction of the last decided matrix (density trajectory tail)
+    matrix_density: float = 0.0
     tlb_shootdowns: int = 0
     #: placement-engine effects (all zero for thread-only policies)
     page_migrations: int = 0
@@ -148,6 +155,9 @@ class RunReport:
             "verdicts": dict(self.verdicts),
             "mapper_calls": self.mapper_calls,
             "vetoed_mappings": self.vetoed_mappings,
+            "mapper_algorithms": dict(self.mapper_algorithms),
+            "decide_wall_s": self.decide_wall_s,
+            "matrix_density": self.matrix_density,
             "tlb_shootdowns": self.tlb_shootdowns,
             "page_migrations": self.page_migrations,
             "shared_deferred": self.shared_deferred,
@@ -487,6 +497,11 @@ def reconstruct_runs(events: Iterable[dict[str, Any]]) -> list[RunReport]:
             run.mapper_calls += 1
             if not ev["accepted"]:
                 run.vetoed_mappings += 1
+            # Decision-cost observability (graphs subsystem); .get() keeps
+            # pre-graphs traces readable.
+            run.mapper_algorithms[str(ev.get("algorithm", "edmonds"))] += 1
+            run.decide_wall_s += float(ev.get("decide_wall_s", 0.0))
+            run.matrix_density = float(ev.get("matrix_density", 0.0))
         elif kind == "migration":
             run.migrations += 1
             migrate_ns = float(ev["cost_ns"])
@@ -572,6 +587,15 @@ def _format_table(reports: list[RunReport]) -> str:
                 f"{r.shared_deferred} shared deferral(s), "
                 f"{r.pt_replications} PT replication(s) "
                 f"({r.replication_ns:.0f} ns)"
+            )
+        if r.mapper_calls:
+            engines = ", ".join(
+                f"{name} x{count}" for name, count in sorted(r.mapper_algorithms.items())
+            ) or "edmonds (pre-graphs trace)"
+            lines.append(
+                f"  mapping: {engines} | decide wall "
+                f"{1e3 * r.decide_wall_s:.2f} ms | matrix density "
+                f"{r.matrix_density:.3f}"
             )
         if r.perf:
             p = r.perf

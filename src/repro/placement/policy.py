@@ -15,10 +15,17 @@ name                      threads  data    replica  scheduler
 ``random``                —        —       —        random pin
 ``oracle``                —        —       —        ground truth
 ``spcd``                  ✓        —       —        random pin
+``spcd-hier``             ✓        —       —        random pin
 ``spcd-data``             —        ✓       —        random pin
 ``spcd-combined``         ✓        ✓       —        random pin
 ``spcd-replicated``       ✓        ✓       ✓        random pin
 ========================  ======== ======= ======== =============
+
+``spcd-hier`` is ``spcd`` with the scalable hierarchical mapper
+(:mod:`repro.graphs.hiermap`) forced regardless of thread count; a
+policy's ``mapper_algorithm`` attribute is how any policy selects a
+registered mapping engine per
+:func:`repro.core.mapping.make_mapper`.
 
 ``spcd`` reproduces the pre-placement engine bit for bit
 (``tests/test_placement.py`` pins it); the new names compose the
@@ -50,6 +57,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "CombinedPlacementPolicy",
     "DataPlacementPolicy",
+    "HierThreadPlacementPolicy",
     "OraclePolicy",
     "OsPolicy",
     "PlacementPolicy",
@@ -185,6 +193,10 @@ class ThreadPlacementPolicy:
     maps_threads = True
     maps_data = False
     replicate_pt = False
+    #: mapping engine this policy requests from the registry
+    #: (:func:`repro.core.mapping.make_mapper`); ``None`` lets the manager
+    #: resolve (explicit config, then the thread-count auto-switch)
+    mapper_algorithm: "str | None" = None
 
     def make_scheduler(
         self, machine: "Machine", workload: "Workload", rng: np.random.Generator
@@ -219,6 +231,21 @@ class ThreadPlacementPolicy:
 
     def __repr__(self) -> str:  # pragma: no cover - repr convenience
         return f"{type(self).__name__}({self.name!r})"
+
+
+class HierThreadPlacementPolicy(ThreadPlacementPolicy):
+    """SPCD thread mapping decided by the scalable hierarchical mapper.
+
+    Identical pipeline and gates to ``spcd``; only the mapping engine
+    differs (:class:`~repro.graphs.hiermap.ScalableHierarchicalMapper`,
+    recursive bisection + local search instead of Edmonds matching).  Use
+    it to force the scalable engine below the
+    ``REPRO_MAP_HIERARCHICAL_MIN_N`` auto-switch, e.g. for quality
+    comparisons at paper scale.
+    """
+
+    name = "spcd-hier"
+    mapper_algorithm = "hierarchical"
 
 
 class DataPlacementPolicy(ThreadPlacementPolicy):
@@ -272,6 +299,7 @@ def canonical_policies() -> "dict[str, PlacementPolicy]":
             RandomPolicy(),
             OraclePolicy(),
             ThreadPlacementPolicy(),
+            HierThreadPlacementPolicy(),
             DataPlacementPolicy(),
             CombinedPlacementPolicy(),
             ReplicatedPlacementPolicy(),

@@ -1,0 +1,86 @@
+"""Stateful model check: SparseCommMatrix vs the dense CommunicationMatrix.
+
+The dense backend *is* the model.  Every rule applies one mutation to both
+backends with identical arguments; the invariant is bit-for-bit digest
+equality after every step — the same discipline the REPRO_SLOW_* engine
+pairs are held to.  Amounts are kept positive (communication volume is
+nonnegative by construction; the detector only ever adds unit events).
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.commmatrix import CommunicationMatrix
+from repro.core.manager import matrix_digest
+from repro.graphs.sparse import SparseCommMatrix
+
+N = 8
+
+
+class SparseDenseParity(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.dense = CommunicationMatrix(N)
+        self.sparse = SparseCommMatrix(N)
+
+    @rule(
+        i=st.integers(0, N - 1),
+        j=st.integers(0, N - 1),
+        amount=st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False),
+    )
+    def add(self, i, j, amount):
+        self.dense.add(i, j, amount)
+        self.sparse.add(i, j, amount)
+
+    @rule(
+        i=st.integers(0, N - 1),
+        partners=st.lists(st.integers(0, N - 1), min_size=0, max_size=20),
+    )
+    def add_events(self, i, partners):
+        # max_size=20 spans both branches: <=8 scalar, >8 two-dispatch.
+        arr = np.asarray(partners, dtype=np.int64)
+        self.dense.add_events(i, arr)
+        self.sparse.add_events(i, arr)
+
+    @rule(factor=st.floats(0.0, 1.0, allow_nan=False))
+    def decay(self, factor):
+        self.dense.decay(factor)
+        self.sparse.decay(factor)
+
+    @rule(
+        seed=st.integers(0, 2**16),
+        scale=st.sampled_from([1.0, 0.25, 2.0]),
+        sparse_other=st.booleans(),
+    )
+    def merge(self, seed, scale, sparse_other):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 4, size=(N, N)).astype(float)
+        data = data + data.T
+        np.fill_diagonal(data, 0.0)
+        other = (SparseCommMatrix if sparse_other else CommunicationMatrix)(N, data)
+        self.dense.merge(other, scale)
+        self.sparse.merge(other, scale)
+
+    @rule()
+    def reset(self):
+        self.dense.reset()
+        self.sparse.reset()
+
+    @rule()
+    def replace_with_copy(self):
+        self.dense = self.dense.copy()
+        self.sparse = self.sparse.copy()
+
+    @invariant()
+    def digests_equal(self):
+        assert matrix_digest(self.sparse) == matrix_digest(self.dense)
+        assert np.array_equal(self.sparse.matrix, self.dense.matrix)
+
+    @invariant()
+    def derived_views_agree(self):
+        assert self.sparse.nnz() == self.dense.nnz()
+        assert self.sparse.total() == self.dense.total()
+
+
+TestSparseDenseParity = SparseDenseParity.TestCase

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.obs",
     "repro.placement",
     "repro.serve",
+    "repro.graphs",
 ]
 
 
@@ -46,28 +47,36 @@ TOP_LEVEL_API = {
     "CellFailure",
     "CommunicationFilter",
     "CommunicationMatrix",
+    "CsrGraph",
     "EngineConfig",
     "GridResult",
     "HierarchicalMapper",
     "JsonlRecorder",
     "Machine",
+    "PartitionPageRankWorkload",
     "PlacementDecision",
     "PlacementPolicy",
     "Policy",
     "ProducerConsumerWorkload",
     "ResultCache",
     "RunSettings",
+    "ScalableHierarchicalMapper",
     "SimulationResult",
     "Simulator",
+    "SparseCommMatrix",
     "SpcdConfig",
     "SpcdDetector",
     "SpcdManager",
+    "SpmvHaloWorkload",
     "SyntheticNpbWorkload",
     "TraceRecorder",
     "build_machine",
     "canonical_policies",
     "dual_xeon_e5_2650",
+    "make_mapper",
     "make_npb",
+    "make_pagerank",
+    "make_spmv",
     "max_weight_perfect_matching",
     "resolve_policy",
     "run_cell",
@@ -102,7 +111,7 @@ ENGINE_API = {
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.3.0"
+        assert repro.__version__ == "1.4.0"
 
     def test_api_surface_snapshot(self):
         assert set(repro.__all__) == TOP_LEVEL_API

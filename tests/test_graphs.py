@@ -1,0 +1,235 @@
+"""Tests for the graph layer: CSR graphs, generators, Matrix-Market I/O,
+row partitioning and the graph-driven workloads."""
+
+import numpy as np
+import pytest
+
+from repro.engine.simulator import EngineConfig, Simulator
+from repro.errors import ConfigurationError, WorkloadError
+from repro.graphs import (
+    CsrGraph,
+    PartitionPageRankWorkload,
+    SpmvHaloWorkload,
+    load_matrix_market,
+    make_pagerank,
+    make_spmv,
+    partition_comm_matrix,
+    partition_rows,
+    powerlaw_graph,
+    rmat_graph,
+    save_matrix_market,
+)
+from repro.units import MSEC
+
+
+class TestCsrGraph:
+    def test_from_edges_symmetrises(self):
+        g = CsrGraph.from_edges(4, np.array([0, 1]), np.array([1, 2]))
+        dense = g.to_dense()
+        assert np.array_equal(dense, dense.T)
+        assert dense[0, 1] == dense[1, 0] == 1.0
+        assert g.n_edges == 2
+
+    def test_self_loops_dropped(self):
+        g = CsrGraph.from_edges(3, np.array([0, 1, 2]), np.array([0, 2, 2]))
+        assert g.n_edges == 1
+        assert np.trace(g.to_dense()) == 0.0
+
+    def test_duplicate_edges_coalesce_into_weights(self):
+        g = CsrGraph.from_edges(3, np.array([0, 0, 0]), np.array([1, 1, 1]))
+        assert g.n_edges == 1
+        assert g.to_dense()[0, 1] == 3.0
+
+    def test_explicit_weights_sum(self):
+        g = CsrGraph.from_edges(
+            3, np.array([0, 1, 0]), np.array([1, 0, 2]),
+            np.array([2.0, 3.0, 1.5]),
+        )
+        dense = g.to_dense()
+        assert dense[0, 1] == 5.0  # both directions of the same edge coalesce
+        assert dense[0, 2] == 1.5
+
+    def test_rows_sorted_ascending(self):
+        g = CsrGraph.from_edges(5, np.array([2, 2, 2]), np.array([4, 0, 3]))
+        ids, _ = g.row(2)
+        assert ids.tolist() == sorted(ids.tolist())
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CsrGraph.from_edges(3, np.array([0]), np.array([3]))
+
+    def test_degrees_match_indptr(self):
+        g = CsrGraph.from_edges(4, np.array([0, 0, 1]), np.array([1, 2, 3]))
+        assert g.degrees().tolist() == [2, 2, 1, 1]
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("gen", [rmat_graph, powerlaw_graph])
+    def test_deterministic_per_seed(self, gen):
+        a, b = gen(64, seed=5), gen(64, seed=5)
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.weights, b.weights)
+        c = gen(64, seed=6)
+        assert not (
+            np.array_equal(a.indptr, c.indptr)
+            and np.array_equal(a.indices, c.indices)
+        )
+
+    @pytest.mark.parametrize("gen", [rmat_graph, powerlaw_graph])
+    def test_skewed_degree_distribution(self, gen):
+        """Both generators must produce hubs, unlike a regular lattice."""
+        g = gen(256, 8.0, seed=1)
+        deg = g.degrees().astype(float)
+        assert deg.max() > 4.0 * deg.mean()
+
+    def test_rmat_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            rmat_graph(1)
+        with pytest.raises(ConfigurationError):
+            rmat_graph(16, a=0.9, b=0.9, c=0.9)
+
+    def test_powerlaw_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            powerlaw_graph(16, exponent=1.0)
+
+
+class TestMatrixMarket:
+    def test_round_trip_exact(self, tmp_path):
+        g = rmat_graph(64, 6.0, seed=3)
+        path = tmp_path / "g.mtx"
+        save_matrix_market(g, path)
+        h = load_matrix_market(path)
+        assert h.n == g.n
+        assert np.array_equal(h.indptr, g.indptr)
+        assert np.array_equal(h.indices, g.indices)
+        assert np.array_equal(h.weights, g.weights)
+
+    def test_general_and_pattern_formats(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "% a comment\n"
+            "3 3 2\n"
+            "1 2\n"
+            "3 1\n"
+        )
+        g = load_matrix_market(path)
+        assert g.n == 3 and g.n_edges == 2
+        assert g.to_dense()[0, 1] == 1.0
+
+    def test_values_become_absolute_weights(self, tmp_path):
+        path = tmp_path / "v.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "2 2 1\n"
+            "2 1 -3.5\n"
+        )
+        assert load_matrix_market(path).to_dense()[0, 1] == 3.5
+
+    def test_rejects_non_square(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 2 1.0\n"
+        )
+        with pytest.raises(WorkloadError, match="square"):
+            load_matrix_market(path)
+
+    def test_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("not a matrix\n")
+        with pytest.raises(WorkloadError, match="Matrix-Market"):
+            load_matrix_market(path)
+
+    def test_rejects_entry_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 2 1.0\n"
+        )
+        with pytest.raises(WorkloadError, match="promised"):
+            load_matrix_market(path)
+
+
+class TestPartitioning:
+    def test_blocks_balanced_within_one(self):
+        parts = partition_rows(10, 3)
+        sizes = np.bincount(parts)
+        assert sizes.tolist() == [4, 3, 3]
+        assert parts.tolist() == sorted(parts.tolist())  # contiguous blocks
+
+    def test_invalid_part_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partition_rows(4, 5)
+        with pytest.raises(ConfigurationError):
+            partition_rows(4, 0)
+
+    def test_comm_matrix_counts_cross_edges_only(self):
+        # 0-1 intra-part, 1-2 and 3-0 cross (parts: {0,1}, {2,3})
+        g = CsrGraph.from_edges(
+            4, np.array([0, 1, 3]), np.array([1, 2, 0]),
+            np.array([5.0, 2.0, 1.0]),
+        )
+        comm = partition_comm_matrix(g, partition_rows(4, 2), 2)
+        assert comm[0, 1] == comm[1, 0] == 3.0  # 2.0 + 1.0, 5.0 stays internal
+        assert np.trace(comm) == 0.0
+
+    def test_comm_matrix_symmetric_for_generated_graphs(self):
+        g = powerlaw_graph(128, 8.0, seed=2)
+        comm = partition_comm_matrix(g, partition_rows(128, 8), 8)
+        assert np.array_equal(comm, comm.T)
+        assert comm.shape == (8, 8)
+
+    def test_parts_shape_validated(self):
+        g = rmat_graph(16, 4.0, seed=0)
+        with pytest.raises(ConfigurationError):
+            partition_comm_matrix(g, np.zeros(8, dtype=np.int64), 2)
+
+
+class TestWorkloads:
+    def test_factories_build_both_generators(self):
+        assert make_spmv(8, generator="rmat").n_threads == 8
+        assert make_pagerank(8, generator="powerlaw").n_threads == 8
+        with pytest.raises(WorkloadError, match="unknown graph generator"):
+            make_spmv(8, generator="metis")
+
+    def test_too_few_vertices_rejected(self):
+        g = rmat_graph(4, 2.0, seed=0)
+        with pytest.raises(WorkloadError):
+            SpmvHaloWorkload(g, 8)
+
+    def test_ground_truth_matches_partition_matrix(self):
+        wl = make_spmv(8, seed=4)
+        expected = partition_comm_matrix(wl.graph, wl.parts, 8)
+        assert np.array_equal(wl.ground_truth().matrix, expected)
+
+    def test_ground_truth_is_irregular(self):
+        """The whole point: power-law graphs give heterogeneous patterns."""
+        wl = make_spmv(16, generator="powerlaw", seed=1)
+        assert wl.ground_truth().heterogeneity() > 0.5
+
+    def test_pagerank_phase_alternates_write_mix(self):
+        wl = make_pagerank(4, n_vertices=64, seed=0)
+        assert wl.phase_at(0) == 0
+        assert wl.phase_at(150 * MSEC) == 1
+        assert wl.phase_at(300 * MSEC) == 0
+
+    def test_pagerank_rejects_bad_period(self):
+        g = rmat_graph(64, 4.0, seed=0)
+        with pytest.raises(WorkloadError):
+            PartitionPageRankWorkload(g, 4, phase_period_ns=0)
+
+    @pytest.mark.parametrize("factory", [make_spmv, make_pagerank])
+    def test_detector_recovers_the_pattern(self, factory):
+        """End to end: SPCD on the fault stream finds the halo structure."""
+        wl = factory(8, n_vertices=256, seed=2)
+        sim = Simulator(wl, "spcd", seed=7, config=EngineConfig(steps=120, batch_size=64))
+        res = sim.run()
+        assert res.detected_matrix is not None
+        assert res.detected_matrix.correlation(wl.ground_truth()) > 0.5
+
+    def test_runs_deterministically(self):
+        cfg = EngineConfig(steps=40, batch_size=64)
+        a = Simulator(make_spmv(8, seed=3), "spcd", seed=5, config=cfg).run()
+        b = Simulator(make_spmv(8, seed=3), "spcd", seed=5, config=cfg).run()
+        assert a.exec_time_s == b.exec_time_s
+        assert np.array_equal(a.detected_matrix.matrix, b.detected_matrix.matrix)

@@ -36,6 +36,7 @@ def _masked(events):
         ev = dict(ev)
         ev.pop("perf", None)
         ev.pop("perf_other_s", None)
+        ev.pop("decide_wall_s", None)
         out.append(ev)
     return out
 

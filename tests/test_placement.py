@@ -74,7 +74,8 @@ class TestResolvePolicy:
         registry = canonical_policies()
         assert set(registry) == {
             "os", "random", "oracle",
-            "spcd", "spcd-data", "spcd-combined", "spcd-replicated",
+            "spcd", "spcd-hier", "spcd-data", "spcd-combined",
+            "spcd-replicated",
         }
         for name, policy in registry.items():
             assert policy.name == name
